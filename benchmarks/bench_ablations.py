@@ -1,0 +1,160 @@
+"""Ablations A1–A4 (per DESIGN.md):
+
+A1  §6.1 accumulator→reduce on the matmul adjoint (the GMM/LSTM lever);
+A2  §4.3 strip-mining time–space trade-off (checkpoint memory vs re-exec);
+A3  §4.1 perfect nests ⇒ no re-execution (DCE kills the forward sweeps);
+A4  §5.1 specialised reduce rules vs the general two-scan rule.
+"""
+import numpy as np
+import pytest
+
+import repro as rp
+from repro.core.api import vjp
+from repro.exec.cost import CostRecorder
+from repro.exec.interp import RefInterp
+from repro.frontend.function import Compiled
+from repro.ir import count_stms
+from repro.opt.pipeline import optimize_fun
+from repro.core.vjp import vjp_fun
+from common import timeit, write_table
+
+rng = np.random.default_rng(0)
+
+
+# --- A1: accumulator optimisation ------------------------------------------------
+
+MM = (224, 128, 160)
+
+
+@pytest.fixture(scope="module")
+def mm_adjoints():
+    n, k, m = MM
+    f = rp.compile(rp.trace_like(lambda a, b: rp.matmul(a, b), (np.ones((n, k)), np.ones((k, m)))))
+    raw = vjp(f, acc_opt=False)
+    opt = vjp(f, acc_opt=True)
+    A = rng.standard_normal((n, k))
+    B = rng.standard_normal((k, m))
+    S = rng.standard_normal((n, m))
+    return raw, opt, (A, B, S)
+
+
+def test_ablation_a1_acc_opt_off(benchmark, mm_adjoints):
+    raw, opt, args = mm_adjoints
+    benchmark(lambda: raw(*args))
+
+
+def test_ablation_a1_acc_opt_on(benchmark, mm_adjoints):
+    raw, opt, args = mm_adjoints
+    benchmark(lambda: opt(*args))
+    t_raw = timeit(lambda: raw(*args))
+    t_opt = timeit(lambda: opt(*args))
+    write_table(
+        "ablation_a1_accopt",
+        [
+            "A1: matmul adjoint — §6.1 accumulator→reduce rewrite",
+            f"shape {MM}: atomic-updates {t_raw:.3f}s, rewritten {t_opt:.3f}s, speedup {t_raw/t_opt:.2f}x",
+            "paper: 'nearly one order of magnitude at application level' on GPU;",
+            "the win grows with the summed dimension (atomics→dense reduction).",
+        ],
+    )
+    assert t_opt < t_raw
+
+
+# --- A2: strip-mining ---------------------------------------------------------------
+
+
+def _stripmine_grad(sm: int):
+    def f(x):
+        return rp.fori_loop(1024, lambda i, a: rp.sin(a) * x, x, stripmine=sm)
+
+    return rp.grad(rp.compile(rp.trace_like(f, (1.0,))))
+
+
+def _peak_and_work(g):
+    rec = CostRecorder()
+    RefInterp(rec).run(g.adfun.fun, [0.8, 1.0])
+    c = rec.snapshot()
+    return c.peak_alloc, c.work
+
+
+@pytest.mark.parametrize("sm", [0, 8, 32])
+def test_ablation_a2_stripmine(benchmark, sm):
+    g = _stripmine_grad(sm)
+    benchmark(lambda: g(0.8))
+    if sm == 32:
+        rows = ["A2: strip-mining a 1024-iteration loop — §4.3 time-space trade-off",
+                f"{'factor':>7s} {'peak ckpt':>10s} {'work':>10s}"]
+        for k in (0, 8, 32):
+            p, w = _peak_and_work(_stripmine_grad(k))
+            rows.append(f"{k:7d} {p:10d} {w:10d}")
+        rows.append("memory drops ~f-fold per level; work grows by one extra forward sweep")
+        write_table("ablation_a2_stripmine", rows)
+        p0, w0 = _peak_and_work(_stripmine_grad(0))
+        p32, w32 = _peak_and_work(_stripmine_grad(32))
+        assert p32 < p0 / 4 and w32 < 4 * w0
+
+
+# --- A3: perfect nests / DCE ----------------------------------------------------------
+
+
+def test_ablation_a3_dce_perfect_nest(benchmark):
+    def f(ass):
+        return rp.map(lambda as_: rp.map(lambda a: a * a, as_), ass)
+
+    fun = optimize_fun(rp.trace_like(f, (np.ones((16, 64)),)))
+    raw = vjp_fun(fun)
+    opt = optimize_fun(raw)
+    ass = rng.standard_normal((16, 64))
+    seed = np.ones((16, 64))
+    prim = Compiled(fun, optimize=False)
+    craw = Compiled(raw, optimize=False)
+    copt = Compiled(opt, optimize=False)
+    benchmark(lambda: copt(ass, seed))
+    wp = prim.cost(ass).work
+    wr = craw.cost(ass, seed).work
+    wo = copt.cost(ass, seed).work
+    write_table(
+        "ablation_a3_dce",
+        [
+            "A3: perfect map nest (Fig. 2) — re-executed forward sweeps are dead code",
+            f"primal work {wp}; adjoint work before DCE {wr} ({wr/wp:.2f}x); after DCE {wo} ({wo/wp:.2f}x)",
+            f"statements: {count_stms(raw)} -> {count_stms(opt)}",
+            "paper: perfect nests suffer no re-computation overhead after optimisation",
+        ],
+    )
+    assert wo < wr
+    assert wo <= 6 * wp
+
+
+# --- A4: specialised reduce rules ----------------------------------------------------------
+
+
+def test_ablation_a4_reduce_special_vs_general(benchmark):
+    n = 50_000
+    xs = rng.standard_normal(n) + 2.0
+
+    f_special = rp.compile(rp.trace_like(lambda v: rp.sum(v), (xs,)))
+    # An opaque addition defeats operator recognition → the general
+    # two-scan rule is used.
+    # minimum(a+b, huge) is semantically (+) on finite data but defeats
+    # operator recognition, forcing the general two-scan rule.
+    f_general = rp.compile(
+        rp.trace_like(lambda v: rp.reduce(lambda a, b: rp.minimum(a + b, 1e300), 0.0, v), (xs,))
+    )
+    g_s = rp.grad(f_special)
+    g_g = rp.grad(f_general)
+    np.testing.assert_allclose(g_s(xs), g_g(xs), rtol=1e-10)
+    benchmark(lambda: g_s(xs))
+    t_s = timeit(lambda: g_s(xs))
+    t_g = timeit(lambda: g_g(xs))
+    write_table(
+        "ablation_a4_reduce_special",
+        [
+            "A4: reduce(+) adjoint — §5.1.1 special case vs general two-scan rule",
+            f"n={n}: special {t_s*1000:.1f} ms, general {t_g*1000:.1f} ms ({t_g/t_s:.1f}x slower)",
+            "paper: the general rule needs ≥5 global memory accesses/element vs 1;",
+            "our gap is amplified because unrecognised scan operators execute",
+            "sequentially in the simulator (a real GPU keeps them parallel).",
+        ],
+    )
+    assert t_s < t_g

@@ -1,0 +1,276 @@
+"""Table 1 — ADBench (sequential-AD comparison).
+
+Paper: time to compute the full Jacobian relative to the objective, for
+BA / D-LSTM / GMM / HAND; Futhark vs Tapenade vs Manual.
+
+Here: our AD ("Futhark" row) vs the eager tape baseline ("Tapenade" row,
+same store-all reverse strategy) vs hand-written derivatives ("Manual").
+Sizes are ADBench-shaped, scaled for the interpreted executors.
+
+Paper-reported ratios (their Table 1):
+            BA    D-LSTM  GMM   HAND(c) HAND(s)
+  Futhark   13.0  3.2     5.1   49.8    45.4
+  Tapenade  10.3  4.5     5.4   3758.7  59.2
+  Manual    8.6   6.2     4.6   4.6     4.4
+"""
+import numpy as np
+import pytest
+
+import repro as rp
+from repro.apps import ba, gmm, hand, lstm
+from repro.baselines import eager as eg
+from common import (
+    ba_setup,
+    gmm_setup,
+    hand_setup,
+    lstm_setup,
+    timeit,
+    write_table,
+)
+
+PAPER = {
+    "BA": {"Futhark": 13.0, "Tapenade": 10.3, "Manual": 8.6},
+    "D-LSTM": {"Futhark": 3.2, "Tapenade": 4.5, "Manual": 6.2},
+    "GMM": {"Futhark": 5.1, "Tapenade": 5.4, "Manual": 4.6},
+    "HAND": {"Futhark": 45.4, "Tapenade": 59.2, "Manual": 4.4},
+    "HAND-C": {"Futhark": 49.8, "Tapenade": 3758.7, "Manual": 4.6},
+}
+
+_ROWS = {}
+
+
+def _record(problem, impl, ratio):
+    _ROWS.setdefault(problem, {})[impl] = ratio
+    if all(len(v) == 3 for v in _ROWS.values()) and len(_ROWS) == 5:
+        lines = ["Table 1: full-Jacobian time / objective time (lower is better)",
+                 f"{'problem':8s} {'ours':>8s} {'tape':>8s} {'manual':>8s}   paper(Fut/Tap/Man)"]
+        for p, v in _ROWS.items():
+            pp = PAPER[p]
+            lines.append(
+                f"{p:8s} {v['ours']:8.1f} {v['tape']:8.1f} {v['manual']:8.1f}   "
+                f"{pp['Futhark']:.1f}/{pp['Tapenade']:.1f}/{pp['Manual']:.1f}"
+            )
+        write_table("table1_adbench", lines)
+
+
+# ---------------------------------------------------------------------------
+# GMM: gradient (K·(d+1)(d/2+1)+K inputs → scalar) — vjp, one pass
+# ---------------------------------------------------------------------------
+
+GMM_N, GMM_D, GMM_K = 128, 8, 8
+
+
+def test_table1_gmm_ours(benchmark):
+    args, fc, g = gmm_setup(GMM_N, GMM_D, GMM_K)
+    t_obj = timeit(fc, *args)
+    t_jac = benchmark(lambda: g(*args))
+    t_jac = timeit(lambda: g(*args))
+    _record("GMM", "ours", t_jac / t_obj)
+
+
+def test_table1_gmm_tape(benchmark):
+    args, fc, g = gmm_setup(GMM_N, GMM_D, GMM_K)
+    alphas, means, icf, x = args
+    obj = lambda: gmm.objective_eager(eg.T(alphas), eg.T(means), eg.T(icf), x).data
+    gr = eg.grad(lambda a, m, i: gmm.objective_eager(a, m, i, x))
+    t_obj = timeit(obj)
+    benchmark(lambda: gr(alphas, means, icf))
+    _record("GMM", "tape", timeit(lambda: gr(alphas, means, icf)) / t_obj)
+
+
+def test_table1_gmm_manual(benchmark):
+    args, fc, g = gmm_setup(GMM_N, GMM_D, GMM_K)
+    t_obj = timeit(lambda: gmm.objective_np(*args))
+    benchmark(lambda: gmm.grad_manual(*args))
+    _record("GMM", "manual", timeit(lambda: gmm.grad_manual(*args)) / t_obj)
+
+
+# ---------------------------------------------------------------------------
+# BA: sparse Jacobian via seeded passes (ours: 2 vjp passes)
+# ---------------------------------------------------------------------------
+
+BA_CAMS, BA_PTS, BA_OBS = 16, 64, 256
+
+
+def _ba_jac_ours(jv, gc, gp, gw, feats):
+    n = gc.shape[0]
+    for comp in range(2):
+        seeds = [np.zeros(n), np.zeros(n), np.zeros(n)]
+        seeds[comp] = np.ones(n)
+        jv(gc, gp, gw, feats, *seeds)
+
+
+def test_table1_ba_ours(benchmark):
+    (gc, gp, gw, feats), fc, jv = ba_setup(BA_CAMS, BA_PTS, BA_OBS)
+    t_obj = timeit(fc, gc, gp, gw, feats)
+    benchmark(lambda: _ba_jac_ours(jv, gc, gp, gw, feats))
+    _record("BA", "ours", timeit(lambda: _ba_jac_ours(jv, gc, gp, gw, feats)) / t_obj)
+
+
+def test_table1_ba_tape(benchmark):
+    (gc, gp, gw, feats), fc, jv = ba_setup(BA_CAMS, BA_PTS, BA_OBS)
+
+    def obj():
+        return [t.data for t in ba.residuals_eager(gc, gp, gw, feats)]
+
+    def jac():
+        for comp in range(2):
+            eg.tape.reset()
+            tc, tp, tw = eg.T(gc, requires_grad=True), eg.T(gp, requires_grad=True), eg.T(gw, requires_grad=True)
+            es = ba.residuals_eager(tc, tp, tw, feats)
+            es[comp].backward(np.ones(gc.shape[0]))
+
+    t_obj = timeit(obj)
+    benchmark(jac)
+    _record("BA", "tape", timeit(jac) / t_obj)
+
+
+def test_table1_ba_manual(benchmark):
+    (gc, gp, gw, feats), fc, jv = ba_setup(BA_CAMS, BA_PTS, BA_OBS)
+    t_obj = timeit(lambda: ba.residuals_np(gc, gp, gw, feats))
+    benchmark(lambda: ba.jacobian_manual(gc, gp, gw, feats))
+    _record("BA", "manual", timeit(lambda: ba.jacobian_manual(gc, gp, gw, feats)) / t_obj)
+
+
+# ---------------------------------------------------------------------------
+# D-LSTM: gradient of the sequence loss
+# ---------------------------------------------------------------------------
+
+LSTM_BS, LSTM_N, LSTM_D, LSTM_H = 8, 6, 10, 12
+
+
+def test_table1_dlstm_ours(benchmark):
+    (a, fc, g) = lstm_setup(LSTM_BS, LSTM_N, LSTM_D, LSTM_H)
+    args = a
+    t_obj = timeit(fc, *args)
+    benchmark(lambda: g(*args))
+    _record("D-LSTM", "ours", timeit(lambda: g(*args)) / t_obj)
+
+
+def test_table1_dlstm_tape(benchmark):
+    (args, fc, g) = lstm_setup(LSTM_BS, LSTM_N, LSTM_D, LSTM_H)
+    xs, wx, wh, b, wy, tg = args
+    obj = lambda: lstm.loss_eager(xs, wx, wh, b, wy, tg).data
+    gr = eg.grad(lambda a_, b_, c_, d_: lstm.loss_eager(xs, a_, b_, c_, d_, tg))
+    t_obj = timeit(obj)
+    benchmark(lambda: gr(wx, wh, b, wy))
+    _record("D-LSTM", "tape", timeit(lambda: gr(wx, wh, b, wy)) / t_obj)
+
+
+def test_table1_dlstm_manual(benchmark):
+    (args, fc, g) = lstm_setup(LSTM_BS, LSTM_N, LSTM_D, LSTM_H)
+    t_obj = timeit(lambda: lstm.loss_np(*args))
+    benchmark(lambda: lstm.grad_manual(*args))
+    _record("D-LSTM", "manual", timeit(lambda: lstm.grad_manual(*args)) / t_obj)
+
+
+# ---------------------------------------------------------------------------
+# HAND (simple): dense Jacobian over 3·B pose directions (forward mode)
+# ---------------------------------------------------------------------------
+
+HAND_B, HAND_V = 6, 48
+
+
+def _hand_jac_ours(fwd, theta, base, wghts, tgts):
+    for j in range(len(theta)):
+        e = np.zeros(len(theta))
+        e[j] = 1.0
+        fwd(theta, base, wghts, tgts, e, np.zeros_like(base), np.zeros_like(wghts), np.zeros_like(tgts))
+
+
+def test_table1_hand_ours(benchmark):
+    (theta, base, wghts, tgts), fc, fwd = hand_setup(HAND_B, HAND_V)
+    t_obj = timeit(fc, theta, base, wghts, tgts)
+    benchmark(lambda: _hand_jac_ours(fwd, theta, base, wghts, tgts))
+    _record("HAND", "ours", timeit(lambda: _hand_jac_ours(fwd, theta, base, wghts, tgts)) / t_obj)
+
+
+def test_table1_hand_tape(benchmark):
+    (theta, base, wghts, tgts), fc, fwd = hand_setup(HAND_B, HAND_V)
+    obj = lambda: hand.objective_eager(theta, base, wghts, tgts).data
+    # reverse-only tape computes the scalar objective's gradient 3B times to
+    # emulate a Jacobian of the residual field (column extraction).
+    gr = eg.grad(lambda t: hand.objective_eager(t, base, wghts, tgts))
+
+    def jac():
+        for _ in range(len(theta) // 3):
+            gr(theta)
+
+    t_obj = timeit(obj)
+    benchmark(jac)
+    _record("HAND", "tape", timeit(jac) / t_obj)
+
+
+def test_table1_hand_manual(benchmark):
+    (theta, base, wghts, tgts), fc, fwd = hand_setup(HAND_B, HAND_V)
+    t_obj = timeit(lambda: hand.objective_np(theta, base, wghts, tgts))
+    benchmark(lambda: hand.jacobian_manual(theta, base, wghts, tgts))
+    _record("HAND", "manual", timeit(lambda: hand.jacobian_manual(theta, base, wghts, tgts)) / t_obj)
+
+
+# ---------------------------------------------------------------------------
+# HAND (complicated): dense pose block (forward) + sparse correspondence
+# block (3 seeded reverse passes) — the variant Tapenade handles poorly.
+# ---------------------------------------------------------------------------
+
+from repro.apps.hand import (
+    build_ir_complicated,
+    complicated_instance,
+    jacobian_complicated_manual,
+    residuals_complicated_np,
+)
+import functools
+
+
+@functools.lru_cache(maxsize=None)
+def _handc_setup():
+    theta, u, base, wghts, cands = complicated_instance(HAND_B, HAND_V)
+    fc = rp.compile(build_ir_complicated(HAND_B, HAND_V))
+    fwd = rp.jvp(fc)
+    jv = rp.vjp(fc, wrt=[0, 1])
+    return (theta, u, base, wghts, cands), fc, fwd, jv
+
+
+def _handc_jac_ours(fwd, jv, theta, u, base, wghts, cands):
+    for j in range(len(theta)):  # dense pose block
+        e = np.zeros(len(theta))
+        e[j] = 1.0
+        fwd(theta, u, base, wghts, cands, e, np.zeros_like(u),
+            np.zeros_like(base), np.zeros_like(wghts), np.zeros_like(cands))
+    for c in range(3):  # sparse correspondence block
+        seeds = [np.zeros(HAND_V), np.zeros(HAND_V), np.zeros(HAND_V)]
+        seeds[c] = np.ones(HAND_V)
+        jv(theta, u, base, wghts, cands, *seeds)
+
+
+def test_table1_handc_ours(benchmark):
+    args, fc, fwd, jv = _handc_setup()
+    t_obj = timeit(fc, *args)
+    benchmark(lambda: _handc_jac_ours(fwd, jv, *args))
+    _record("HAND-C", "ours", timeit(lambda: _handc_jac_ours(fwd, jv, *args)) / t_obj)
+
+
+def test_table1_handc_tape(benchmark):
+    args, fc, fwd, jv = _handc_setup()
+    theta, u, base, wghts, cands = args
+    match = (u[:, :, None] * cands).sum(1)
+    obj = lambda: hand.objective_eager(theta, base, wghts, match).data
+    gr = eg.grad(lambda t: hand.objective_eager(t, base, wghts, match))
+
+    def jac():
+        # reverse-only tape: one scalar backward per pose direction plus the
+        # correspondence block via 3 more backward passes (modelled as calls).
+        for _ in range(len(theta) // 3 + 3):
+            gr(theta)
+
+    t_obj = timeit(obj)
+    benchmark(jac)
+    _record("HAND-C", "tape", timeit(jac) / t_obj)
+
+
+def test_table1_handc_manual(benchmark):
+    args, fc, fwd, jv = _handc_setup()
+    theta, u, base, wghts, cands = args
+    t_obj = timeit(lambda: residuals_complicated_np(*args))
+    benchmark(lambda: jacobian_complicated_manual(*args))
+    _record("HAND-C", "manual", timeit(lambda: jacobian_complicated_manual(*args)) / t_obj)

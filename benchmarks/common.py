@@ -1,0 +1,112 @@
+"""Shared benchmark infrastructure.
+
+Workloads are the paper's, scaled down by a documented factor (``SCALE``
+notes below) because the executors are NumPy-over-interpreter, not CUDA.
+Every table file writes a paper-style text table to
+``benchmarks/results/*.txt`` in addition to pytest-benchmark's own report,
+and records the paper's reported numbers next to ours.
+"""
+from __future__ import annotations
+
+import functools
+import os
+import time
+from typing import Callable
+
+import numpy as np
+
+import repro as rp
+from repro.apps import ba, datagen, gmm, hand, kmeans, kmeans_sparse, lstm, rsbench, xsbench
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+os.makedirs(RESULTS_DIR, exist_ok=True)
+
+
+def write_table(name: str, lines) -> None:
+    path = os.path.join(RESULTS_DIR, name + ".txt")
+    text = "\n".join(lines) + "\n"
+    with open(path, "w") as f:
+        f.write(text)
+    print("\n" + text)
+
+
+def timeit(f: Callable, *args, repeats: int = 3) -> float:
+    """Median wall-clock seconds of ``f(*args)``."""
+    ts = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        f(*args)
+        ts.append(time.perf_counter() - t0)
+    return float(np.median(ts))
+
+
+# ---------------------------------------------------------------------------
+# Cached problem setups (trace + AD transform once per session)
+# ---------------------------------------------------------------------------
+
+
+@functools.lru_cache(maxsize=None)
+def gmm_setup(n: int, d: int, K: int, seed: int = 0):
+    args = datagen.gmm_instance(n, d, K, seed)[:4]
+    fc = rp.compile(gmm.build_ir(n, d, K))
+    g = rp.grad(fc, wrt=[0, 1, 2])
+    return args, fc, g
+
+
+@functools.lru_cache(maxsize=None)
+def kmeans_setup(k: int, n: int, d: int, seed: int = 0):
+    pts, ctr = datagen.kmeans_instance(k, n, d, seed)
+    fc = rp.compile(kmeans.build_ir(n, k, d))
+    g = rp.grad(fc, wrt=[1])
+    h = rp.hessian_diag(fc, wrt=1)
+    return (pts, ctr), fc, g, h
+
+
+@functools.lru_cache(maxsize=None)
+def kmeans_sparse_setup(rows: int, cols: int, nnz_row: int, k: int, seed: int = 0):
+    data = datagen.sparse_kmeans_instance(rows, cols, nnz_row, k, seed)
+    fc = rp.compile(kmeans_sparse.build_ir(rows, k, cols))
+    g = rp.grad(fc, wrt=[3])
+    return data, fc, g
+
+
+@functools.lru_cache(maxsize=None)
+def lstm_setup(bs: int, n: int, d: int, h: int, seed: int = 0):
+    xs, wx, wh, b, wy, h0, c0, tg = datagen.lstm_instance(bs, n, d, h, seed)
+    # note: datagen signature is (bs, n, d, h) -> xs is (n, bs, d)
+    fc = rp.compile(lstm.build_ir(xs.shape[0], xs.shape[1], xs.shape[2], wh.shape[1]))
+    g = rp.grad(fc, wrt=[1, 2, 3, 4])
+    return (xs, wx, wh, b, wy, tg), fc, g
+
+
+@functools.lru_cache(maxsize=None)
+def ba_setup(n_cams: int, n_pts: int, n_obs: int, seed: int = 0):
+    cams, pts, ws, oc, op, feats = datagen.ba_instance(n_cams, n_pts, n_obs, seed)
+    gc, gp, gw = ba.gather_obs(cams, pts, ws, oc, op)
+    fc = rp.compile(ba.build_ir(n_obs))
+    jv = rp.vjp(fc, wrt=[0, 1, 2])
+    return (gc, gp, gw, feats), fc, jv
+
+
+@functools.lru_cache(maxsize=None)
+def hand_setup(n_bones: int, n_verts: int, seed: int = 0):
+    args = datagen.hand_instance(n_bones, n_verts, seed)
+    fc = rp.compile(hand.build_ir(n_bones, n_verts))
+    fwd = rp.jvp(fc)
+    return args, fc, fwd
+
+
+@functools.lru_cache(maxsize=None)
+def xs_setup(n_lookups: int, n_nuc: int, n_grid: int, seed: int = 0):
+    args = datagen.xs_instance(n_lookups, n_nuc, n_grid, seed)
+    fc = rp.compile(xsbench.build_ir(n_lookups, n_nuc, n_grid, args[3].shape[1]))
+    g = rp.grad(fc, wrt=[1, 4])
+    return args, fc, g
+
+
+@functools.lru_cache(maxsize=None)
+def rs_setup(n_lookups: int, n_poles: int, n_windows: int, seed: int = 0):
+    args = datagen.rs_instance(n_lookups, n_poles, n_windows, seed)
+    fc = rp.compile(rsbench.build_ir(n_lookups, n_windows, n_poles))
+    g = rp.grad(fc, wrt=[2, 3])
+    return args, fc, g

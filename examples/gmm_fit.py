@@ -1,0 +1,53 @@
+"""Fitting a Gaussian mixture by gradient descent on the ADBench GMM
+objective (paper §7.6, Case Study 3).
+
+The objective is a nested-parallel program (maps over points and
+components, a sequential triangular solve per row); reverse AD produces
+its full gradient in one pass, with the §6.1 accumulator rewrites turning
+the matmul-like adjoints into dense reductions.
+
+Run:  python examples/gmm_fit.py
+"""
+import numpy as np
+
+import repro as rp
+from repro.apps import datagen, gmm
+
+
+def main() -> None:
+    n, d, K = 400, 4, 4
+    alphas, means, icf, x, _ = datagen.gmm_instance(n, d, K, seed=7)
+    # Make the data actually mixture-like so the fit is visible.
+    rng = np.random.default_rng(7)
+    true_means = rng.standard_normal((K, d)) * 3.0
+    assign = rng.integers(0, K, n)
+    x = true_means[assign] + rng.standard_normal((n, d))
+
+    f = rp.compile(gmm.build_ir(n, d, K))
+    vg = rp.value_and_grad(f, wrt=[0, 1, 2])
+
+    print(f"GMM: n={n} points, d={d}, K={K}")
+    lr = 2e-4
+
+    def clip(g, lim=50.0):
+        n2 = np.linalg.norm(g)
+        return g if n2 <= lim else g * (lim / n2)
+
+    for it in range(20):
+        loss, (ga, gm, gi) = vg(alphas, means, icf, x)
+        if it % 4 == 0:
+            print(f"  iter {it:3d}  -log-likelihood = {float(loss):12.3f}")
+        alphas -= lr * clip(ga)
+        means -= lr * clip(gm)
+        icf -= lr * clip(gi)
+    print(f"  final     -log-likelihood = {float(f(alphas, means, icf, x)):12.3f}")
+
+    # Cross-check the AD gradient against the hand-derived one.
+    ga, gm, gi = rp.grad(f, wrt=[0, 1, 2])(alphas, means, icf, x)
+    ma, mm, mi = gmm.grad_manual(alphas, means, icf, x)
+    print(f"\nmax |AD − manual|: alphas {np.abs(ga-ma).max():.2e}, "
+          f"means {np.abs(gm-mm).max():.2e}, icf {np.abs(gi-mi).max():.2e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""k-means clustering by Newton's method (paper §7.4, Case Study 1).
+
+The cost function is written with nested map/reduce; its gradient comes
+from one reverse pass and the (diagonal) Hessian from nesting forward over
+reverse — ``jvp(vjp(f))`` with an all-ones tangent — exactly the
+sparsity-through-seed-vectors trick the paper demonstrates.
+
+Run:  python examples/kmeans_newton.py
+"""
+import numpy as np
+
+import repro as rp
+from repro.apps import datagen, kmeans
+
+
+def main() -> None:
+    k, n, d = 5, 2000, 6
+    points, centres = datagen.kmeans_instance(k, n, d, seed=42)
+
+    f = rp.compile(kmeans.build_ir(n, k, d))
+    gradf = rp.grad(f, wrt=[1])
+    hessf = rp.hessian_diag(f, wrt=1)  # jvp ∘ vjp, one pass
+
+    print(f"k-means: n={n} points, d={d}, k={k}")
+    print(f"{'iter':>4s} {'cost':>14s}")
+    c = centres.copy()
+    for it in range(8):
+        cost = f(points, c)
+        print(f"{it:4d} {cost:14.2f}")
+        g = gradf(points, c)
+        h = hessf(points, c).reshape(c.shape)
+        h = np.where(np.abs(h) < 1e-12, 1.0, h)
+        c = c - g / h
+    print(f"{'fin':>4s} {f(points, c):14.2f}")
+
+    # Validate against the hand-written histogram method (the paper's
+    # "manual" comparator).
+    g_manual, h_manual = kmeans.grad_hess_manual(points, c)
+    g_ad = gradf(points, c)
+    print(f"\nmax |grad_AD − grad_manual| = {np.abs(g_ad - g_manual).max():.2e}")
+
+
+if __name__ == "__main__":
+    main()

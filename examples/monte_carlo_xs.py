@@ -1,0 +1,49 @@
+"""Differentiating a Monte Carlo cross-section lookup kernel (paper §7.3).
+
+The XSBench-shaped kernel is one big ``map`` whose body has inner loops,
+data-dependent control flow and indirect indexing — the structural
+features that make GPU reverse AD hard, and that the redundant-execution
+technique handles without a tape.  The gradient with respect to the
+cross-section table flows through gather-interpolation and comes back via
+accumulators (atomic adds on a GPU; ``np.add.at`` here).
+
+Run:  python examples/monte_carlo_xs.py
+"""
+import numpy as np
+
+import repro as rp
+from repro.apps import datagen, xsbench
+
+
+def main() -> None:
+    n_lookups, n_nuclides, n_grid = 1000, 12, 32
+    egrid, xs, lookup_e, mats, conc = datagen.xs_instance(
+        n_lookups, n_nuclides, n_grid, seed=11
+    )
+
+    f = rp.compile(xsbench.build_ir(n_lookups, n_nuclides, n_grid, mats.shape[1]))
+    total = f(egrid, xs, lookup_e, mats, conc)
+    print(f"XS kernel: {n_lookups} lookups over {n_nuclides} nuclides × {n_grid} gridpoints")
+    print(f"total macroscopic cross-section = {float(total):.4f}")
+
+    g = rp.grad(f, wrt=[1, 4])
+    gxs, gconc = g(egrid, xs, lookup_e, mats, conc)
+    print(f"∂total/∂xs: shape {gxs.shape}, nnz = {(gxs != 0).sum()} "
+          f"(only the gridpoints lookups actually touched)")
+    print(f"∂total/∂conc: shape {gconc.shape}, all positive: {bool((gconc > 0).all())}")
+
+    # Sensitivity analysis: which nuclide's table matters most?
+    per_nuclide = np.abs(gxs).sum(axis=1)
+    top = np.argsort(per_nuclide)[::-1][:3]
+    print(f"most sensitive nuclides: {top.tolist()}")
+
+    # AD overhead, the paper's Table 2 metric:
+    import time
+
+    t0 = time.perf_counter(); f(egrid, xs, lookup_e, mats, conc); t_prim = time.perf_counter() - t0
+    t0 = time.perf_counter(); g(egrid, xs, lookup_e, mats, conc); t_ad = time.perf_counter() - t0
+    print(f"\nAD overhead = {t_ad / t_prim:.1f}x (paper reports 2.6x for XSBench, 3.2x for Enzyme)")
+
+
+if __name__ == "__main__":
+    main()

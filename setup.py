@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The sandboxed environment has no network and an old setuptools without the
+``wheel`` package, so PEP-517 editable installs fail; ``pip install -e .
+--no-use-pep517`` with this shim works everywhere.  All metadata lives in
+pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,115 @@
+"""Dense k-means clustering (paper §7.4, Table 3).
+
+The cost function  f(C) = Σ_p min_c ‖p − c‖²  is written with nested ``map``
+and ``reduce`` operations; Newton's method needs its gradient and Hessian.
+As in the paper, the Hessian is diagonal, so a single ``jvp(vjp(f))``
+invocation with an all-ones tangent returns exactly the diagonal — the
+sparsity-through-seeding trick of §7.4.
+
+Implementations: the IR program (ours), a manual NumPy gradient+Hessian (the
+"Manual" column, histogram-style), and the eager-tape baseline ("PyTorch",
+with the expanded-norm trick the paper describes to avoid broadcasting
+blowup).
+"""
+from __future__ import annotations
+
+import numpy as np
+
+import repro as rp
+from ..baselines import eager as eg
+
+__all__ = [
+    "build_ir",
+    "cost_np",
+    "grad_hess_manual",
+    "cost_eager",
+    "newton_step_ir",
+    "newton_step_manual",
+    "newton_step_eager",
+]
+
+
+def build_ir(n: int, k: int, d: int):
+    """Trace cost(points, centres) -> scalar."""
+
+    def cost(points, centres):
+        def sqdist_to(c_idx, p):
+            return rp.sum(
+                rp.map(lambda j: (p[j] - centres[c_idx, j]) ** 2.0, rp.iota(d))
+            )
+
+        def per_point(p):
+            ds = rp.map(lambda c: sqdist_to(c, p), rp.iota(k))
+            return rp.min(ds)
+
+        return rp.sum(rp.map(per_point, points))
+
+    return rp.trace(
+        cost,
+        [rp.ir.array(rp.F64, 2), rp.ir.array(rp.F64, 2)],
+        name="kmeans_cost",
+        arg_names=["points", "centres"],
+    )
+
+
+def cost_np(points: np.ndarray, centres: np.ndarray) -> float:
+    d2 = ((points[:, None, :] - centres[None, :, :]) ** 2).sum(-1)
+    return float(d2.min(axis=1).sum())
+
+
+def grad_hess_manual(points: np.ndarray, centres: np.ndarray):
+    """Hand-written gradient and Hessian diagonal — the histogram method the
+    paper compares against: group points by nearest centre (a generalised
+    histogram), then per-centre sums."""
+    d2 = ((points[:, None, :] - centres[None, :, :]) ** 2).sum(-1)
+    assign = d2.argmin(axis=1)
+    k, d = centres.shape
+    counts = np.bincount(assign, minlength=k).astype(np.float64)
+    sums = np.zeros_like(centres)
+    np.add.at(sums, assign, points)
+    grad = 2.0 * (counts[:, None] * centres - sums)
+    hess_diag = np.broadcast_to(2.0 * counts[:, None], centres.shape).copy()
+    return grad, hess_diag
+
+
+def cost_eager(points, centres) -> "eg.T":
+    """Eager formulation with the expanded quadratic (‖p‖² + ‖c‖² − 2p·cᵀ),
+    exactly the memory-saving trick §7.4 describes for PyTorch."""
+    p = points if isinstance(points, eg.T) else eg.T(points)
+    c = centres if isinstance(centres, eg.T) else eg.T(centres)
+    p2 = (p * p).sum(axis=1)  # (n,)
+    c2 = (c * c).sum(axis=1)  # (k,)
+    cross = p @ c.Tr  # (n,k)
+    d2 = p2.reshape(-1, 1) + c2.reshape(1, -1) - 2.0 * cross
+    return d2.min(axis=1).sum()
+
+
+# ---------------------------------------------------------------------------
+# Newton steps (what Table 3 times: Jacobian + Hessian per iteration)
+# ---------------------------------------------------------------------------
+
+
+def newton_step_ir(fun_compiled, points, centres, gradf=None, hessf=None):
+    """One Newton iteration C ← C − ∇f / diag(H) using vjp + jvp∘vjp."""
+    g = gradf(points, centres)
+    h = hessf(points, centres)
+    h = np.where(np.abs(h) < 1e-12, 1.0, h)
+    return centres - g / h.reshape(centres.shape)
+
+
+def newton_step_manual(points, centres):
+    g, h = grad_hess_manual(points, centres)
+    h = np.where(np.abs(h) < 1e-12, 1.0, h)
+    return centres - g / h
+
+
+def newton_step_eager(points, centres):
+    gfn = eg.grad(lambda c: cost_eager(points, c))
+    g = gfn(centres)
+    # Hessian diagonal by forward differences over the gradient (PyTorch's
+    # autograd computes Jacobian then Hessian; we model the double pass).
+    eps = 1e-5
+    gp = gfn(centres + eps)
+    h = (gp - g) / eps
+    h = np.where(np.abs(h) < 1e-12, 1.0, h)
+    return centres - g / h

@@ -1,0 +1,115 @@
+"""Sparse k-means (paper §7.5, Table 4): CSR data, dense centres.
+
+The cost uses the expanded norm ‖p − c‖² = ‖p‖² + ‖c‖² − 2·p·cᵀ so the
+sparse row only participates through gathers (CSR in the IR version, COO
+scatter in the eager baseline — exactly the formulations §7.5 describes).
+"""
+from __future__ import annotations
+
+import numpy as np
+
+import repro as rp
+from ..baselines import eager as eg
+
+__all__ = ["build_ir", "cost_np", "grad_manual", "cost_eager", "row_ids_of"]
+
+
+def build_ir(nrows: int, k: int, d: int):
+    """cost(indptr, indices, values, centres) -> scalar (CSR formulation)."""
+
+    def cost(indptr, indices, values, centres):
+        c2 = rp.map(
+            lambda ci: rp.sum(rp.map(lambda j: centres[ci, j] ** 2.0, rp.iota(d))),
+            rp.iota(k),
+        )
+
+        def per_row(i):
+            start = indptr[i]
+            count = indptr[i + 1] - start
+            row2 = rp.fori_loop(
+                count, lambda t, a: a + values[start + t] ** 2.0, 0.0
+            )
+
+            def dist_to(ci):
+                dot = rp.fori_loop(
+                    count,
+                    lambda t, a: a + values[start + t] * centres[ci, indices[start + t]],
+                    0.0,
+                )
+                return row2 + c2[ci] - 2.0 * dot
+
+            return rp.min(rp.map(dist_to, rp.iota(k)))
+
+        return rp.sum(rp.map(per_row, rp.iota(nrows)))
+
+    return rp.trace(
+        cost,
+        [
+            rp.ir.array(rp.I64, 1),
+            rp.ir.array(rp.I64, 1),
+            rp.ir.array(rp.F64, 1),
+            rp.ir.array(rp.F64, 2),
+        ],
+        name="kmeans_sparse",
+        arg_names=["indptr", "indices", "values", "centres"],
+    )
+
+
+def _dense_rows(indptr, indices, values, d):
+    n = len(indptr) - 1
+    dense = np.zeros((n, d))
+    rows = row_ids_of(indptr)
+    np.add.at(dense, (rows, indices), values)  # duplicates accumulate
+    return dense
+
+
+def cost_np(indptr, indices, values, centres) -> float:
+    dense = _dense_rows(indptr, indices, values, centres.shape[1])
+    d2 = ((dense[:, None, :] - centres[None, :, :]) ** 2).sum(-1)
+    # The CSR formulation sums v² per nnz, which differs from ‖dense row‖²
+    # only when a row repeats a column; datagen may produce repeats, so use
+    # the same expansion as the IR program.
+    row2 = np.zeros(len(indptr) - 1)
+    np.add.at(row2, row_ids_of(indptr), values**2)
+    c2 = (centres**2).sum(-1)
+    cross = dense @ centres.T
+    d2 = row2[:, None] + c2[None, :] - 2 * cross
+    return float(d2.min(axis=1).sum())
+
+
+def row_ids_of(indptr: np.ndarray) -> np.ndarray:
+    """COO row ids from a CSR indptr."""
+    n = len(indptr) - 1
+    return np.repeat(np.arange(n), np.diff(indptr))
+
+
+def grad_manual(indptr, indices, values, centres):
+    """Hand-written gradient wrt centres (histogram method over assignments)."""
+    k, d = centres.shape
+    dense = _dense_rows(indptr, indices, values, d)
+    row2 = np.zeros(len(indptr) - 1)
+    np.add.at(row2, row_ids_of(indptr), values**2)
+    c2 = (centres**2).sum(-1)
+    d2 = row2[:, None] + c2[None, :] - 2 * dense @ centres.T
+    assign = d2.argmin(axis=1)
+    counts = np.bincount(assign, minlength=k).astype(np.float64)
+    sums = np.zeros_like(centres)
+    np.add.at(sums, assign, dense)
+    return 2.0 * (counts[:, None] * centres - sums)
+
+
+def cost_eager(indptr, indices, values, centres) -> "eg.T":
+    """COO formulation with ``sparse.mm``-style scatter products (§7.5)."""
+    rows = row_ids_of(np.asarray(indptr))
+    v = values if isinstance(values, eg.T) else eg.T(values)
+    c = centres if isinstance(centres, eg.T) else eg.T(centres)
+    n = len(indptr) - 1
+    k = c.shape[0]
+    # cross[i, :] = Σ_j v_j · centres[:, col_j]  (a sparse-dense product)
+    ct = c.Tr[np.asarray(indices)]  # (nnz, k)
+    contrib = ct * v.reshape(-1, 1)
+    cross = eg.scatter_add(eg.T(np.zeros((n, k))), rows, contrib)
+    row2 = eg.scatter_add(eg.T(np.zeros(n)), rows, v * v)
+    c2 = (c * c).sum(axis=1)
+    d2 = row2.reshape(-1, 1) + c2.reshape(1, -1) - 2.0 * cross
+    return d2.min(axis=1).sum()

@@ -1,0 +1,3 @@
+"""Comparator baselines: an eager tape-based NumPy autodiff (PyTorch /
+Tapenade stand-in, memory-instrumented)."""
+from . import eager  # noqa: F401

@@ -1,0 +1,5 @@
+"""The paper's contribution: forward- and reverse-mode AD transforms."""
+from .jvp import jvp_fun  # noqa: F401
+from .vjp import vjp_fun  # noqa: F401
+from . import api  # noqa: F401
+from .api import grad, hessian_diag, jacobian, jvp, value_and_grad, vjp  # noqa: F401

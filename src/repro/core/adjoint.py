@@ -1,0 +1,178 @@
+"""Adjoint bookkeeping for the reverse-mode transform.
+
+The paper keeps an environment mapping each program variable to its adjoint
+(§4.2, omitted from Fig. 3 for readability); ``AdjScope`` is that
+environment for one lexical scope of the return sweep.  Adjoints are SSA:
+every contribution binds a fresh variable (``a_bar' = a_bar + c``).
+
+Array adjoints come in two modes:
+
+* **value mode** — an ordinary array, updated with whole-array adds or
+  functional index updates;
+* **accumulator mode** (paper §5.4) — inside a ``map``'s return sweep, the
+  adjoint of a free array is an accumulator; contributions become ``UpdAcc``
+  (operationally ``atomicAdd``).  ``acc_env`` maps original variable names to
+  their current accumulator variable and is shared across nested scopes.
+"""
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..ir.ast import (
+    Atom,
+    Const,
+    Iota,
+    Lambda,
+    Size,
+    Var,
+)
+from ..ir.types import ArrayType, I64
+from ..ir.builder import Builder, const
+from ..ir.traversal import refresh_body, subst
+from ..ir.types import elem_type, is_float, rank_of
+from ..util import ADError, fresh
+
+__all__ = ["AdjScope", "inline_lambda", "sum_leading_axis"]
+
+
+def inline_lambda(b: Builder, lam: Lambda, args: Sequence[Atom]) -> Tuple[Atom, ...]:
+    """Splice a (refreshed) copy of ``lam``'s body into ``b`` with its
+    parameters bound to ``args``; returns the result atoms."""
+    if len(args) != len(lam.params):
+        raise ADError(f"inline: arity mismatch {len(args)} != {len(lam.params)}")
+    body = refresh_body(lam.body, {p.name: a for p, a in zip(lam.params, args)})
+    b.extend(body.stms)
+    return body.result
+
+
+def sum_leading_axis(b: Builder, arr: Var) -> Var:
+    """Sum an array over its leading axis (any rank ≥ 1), used e.g. for the
+    adjoint of ``replicate`` and the §6.1 rewrites.
+
+    Emitted as a single ``reduce`` whose elements are the (rank-1) rows and
+    whose operator is the rank-polymorphic elementwise ``+`` — the backends
+    turn this into one dense ``np.add.reduce`` (a vectorised segmented sum,
+    the kernel shape the paper's block/register-tiling pass targets)."""
+    rank = rank_of(arr.type)
+    et = elem_type(arr.type)
+    elem_t = et if rank == 1 else ArrayType(et, rank - 1)
+    a1 = Var(fresh("a"), elem_t)
+    a2 = Var(fresh("b"), elem_t)
+    lb = Builder()
+    s = lb.add(a1, a2, "s")
+    lam = Lambda((a1, a2), lb.finish([s]))
+    if rank == 1:
+        ne = const(0.0, et)
+    else:
+        # Neutral element: a zero row.  (These rewrites only run on arrays
+        # with at least one row; guarded by construction.)
+        r0 = b.index(arr, (const(0, I64),), "r0")
+        ne = b.zeros_like(r0)
+    return b.reduce(lam, [ne], [arr], names=["sum"])[0]
+
+
+class AdjScope:
+    """Adjoint environment for one scope of the return sweep."""
+
+    def __init__(
+        self,
+        b: Builder,
+        acc_env: Dict[str, Var],
+        init: Optional[Dict[str, Atom]] = None,
+        nodiff: Optional[set] = None,
+    ) -> None:
+        self.b = b
+        self.adj: Dict[str, Atom] = dict(init or {})
+        self.acc_env = acc_env
+        self.nodiff = nodiff if nodiff is not None else set()
+
+    # -- queries ------------------------------------------------------------
+
+    def has(self, v: Var) -> bool:
+        return v.name in self.adj or v.name in self.acc_env
+
+    def lookup(self, v: Var) -> Atom:
+        """Current adjoint of ``v`` (zeros if none yet).  Value mode only."""
+        if v.name in self.acc_env:
+            raise ADError(f"adjoint of {v.name} is an accumulator; cannot read it")
+        a = self.adj.get(v.name)
+        if a is None:
+            a = self.b.zeros_like(v, name=v.name + "_bar")
+            self.adj[v.name] = a
+        return a
+
+    def set(self, v: Var, a: Atom) -> None:
+        self.adj[v.name] = a
+
+    # -- contributions ----------------------------------------------------------
+
+    def add(self, v: Atom, contrib: Atom) -> None:
+        """``v̄ += contrib`` (whole value).
+
+        Contributions of higher rank than the target (a broadcast operand)
+        are summed over the broadcast (leading) axes; lower-rank
+        contributions broadcast in the add (or are replicated when the
+        target is an accumulator, which needs exact rank).
+        """
+        if isinstance(v, Const) or not is_float(v.type):
+            return
+        assert isinstance(v, Var)
+        if v.name in self.nodiff:
+            return
+        while rank_of(contrib.type) > rank_of(v.type):
+            if not isinstance(contrib, Var):
+                raise ADError("cannot reduce a constant contribution")
+            contrib = sum_leading_axis(self.b, contrib)
+        if v.name in self.acc_env:
+            acc = self.acc_env[v.name]
+            c = self._match_rank(v, contrib)
+            self.acc_env[v.name] = self.b.upd_acc(acc, (), c, acc.name)
+            return
+        cur = self.adj.get(v.name)
+        if cur is None:
+            # First contribution: bind directly (the +0 is folded away).
+            if rank_of(contrib.type) < rank_of(v.type):
+                contrib = self._match_rank(v, contrib)
+            self.adj[v.name] = self.b.copy(contrib, v.name + "_bar")
+        else:
+            self.adj[v.name] = self.b.add(cur, contrib, v.name + "_bar")
+
+    def add_at(self, v: Var, idx: Tuple[Atom, ...], contrib: Atom) -> None:
+        """``v̄[idx] += contrib`` — the ``upd`` of §4.2."""
+        if not is_float(v.type) or v.name in self.nodiff:
+            return
+        if v.name in self.acc_env:
+            acc = self.acc_env[v.name]
+            self.acc_env[v.name] = self.b.upd_acc(acc, idx, contrib, acc.name)
+            return
+        cur = self.lookup(v)
+        assert isinstance(cur, Var)
+        old = self.b.index(cur, idx, "old")
+        s = self.b.add(old, contrib, "s")
+        self.adj[v.name] = self.b.update(cur, idx, s, v.name + "_bar")
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _match_rank(self, v: Var, contrib: Atom) -> Atom:
+        """Replicate a low-rank contribution up to ``v``'s rank (whole-array
+        accumulator updates need exact rank; broadcasting handles the rest)."""
+        want = rank_of(v.type)
+        have = rank_of(contrib.type)
+        if have == want:
+            return contrib
+        if have > want:
+            raise ADError(f"contribution rank {have} exceeds target rank {want}")
+        from ..ir.ast import Size
+
+        out = contrib
+        # Broadcast by replication along each missing leading axis of v.
+        for d in range(want - have - 1, -1, -1):
+            n = self.b.emit1(Size(v, d), "n")
+            out = self.b.replicate(n, out, "repc")
+        return out
+
+    def final(self, v: Var) -> Atom:
+        """Adjoint of ``v`` at scope exit (zeros if never contributed)."""
+        if v.name in self.acc_env:
+            raise ADError(f"{v.name} is accumulated; no value-mode adjoint")
+        return self.lookup(v)

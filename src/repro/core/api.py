@@ -1,0 +1,193 @@
+"""User-facing AD entry points: ``jvp``, ``vjp``, ``grad``, ``jacobian``,
+``hessian_diag``.
+
+These mirror the paper's ``jvp``/``vjp`` language constructs (§2.0.1/2.0.2):
+
+* ``vjp(f)(x̲, ȳ) = ȳ · J_f(x̲)``  — reverse mode, one pass for a full
+  gradient of a scalar function;
+* ``jvp(f)(x̲, ẋ) = J_f(x̲) · ẋ``  — forward mode, one pass per direction;
+* ``jacobian`` maps ``vjp``/``jvp`` over a basis, picking the cheaper mode
+  from the input/output dimensions;
+* ``hessian_diag`` nests forward over reverse (the §7.4 k-means trick —
+  sparsity exploited by choosing seed vectors).
+"""
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+
+from ..frontend.function import Compiled, compile_fun
+from ..ir.ast import Fun
+from ..ir.types import is_float, rank_of
+from ..opt.pipeline import optimize_fun
+from ..opt.while_bound import while_bound_fun
+from ..opt.stripmine import stripmine_fun
+from ..util import ADError
+from .jvp import jvp_fun
+from .vjp import vjp_fun
+
+__all__ = ["jvp", "vjp", "grad", "value_and_grad", "jacobian", "hessian_diag"]
+
+FunLike = Union[Fun, Compiled]
+
+
+def _fun_of(f: FunLike) -> Fun:
+    if isinstance(f, Compiled):
+        return f.fun
+    return f
+
+
+def _pre_ad(fun: Fun) -> Fun:
+    """Pre-AD pipeline: simplify, bound while loops, apply strip-mining
+    annotations (the paper runs AD on an already heavily-optimised program)."""
+    fun = optimize_fun(fun)
+    fun = while_bound_fun(fun)
+    fun = stripmine_fun(fun)
+    return optimize_fun(fun)
+
+
+class ADFunction(Compiled):
+    """A compiled derivative function with bookkeeping about its shape."""
+
+    def __init__(self, fun: Fun, n_primal_out: int, optimize: bool = True) -> None:
+        super().__init__(fun, optimize=optimize)
+        self.n_primal_out = n_primal_out
+
+
+def vjp(f: FunLike, optimize: bool = True, acc_opt: bool = True, wrt=None) -> ADFunction:
+    """Reverse-mode derivative.
+
+    ``vjp(f)(*args, *seeds)`` returns ``(*primal_results, *adjoints)`` where
+    ``seeds`` are the adjoints of ``f``'s float results and ``adjoints`` are
+    the adjoints of ``f``'s float parameters.  ``acc_opt`` applies the §6.1
+    accumulator→reduce/histogram rewrites (on by default, as in the paper;
+    disable for the ablation).
+    """
+    fun = _pre_ad(_fun_of(f))
+    out = vjp_fun(fun, wrt=wrt)
+    if acc_opt:
+        from ..opt.acc_opt import acc_opt_fun
+
+        out = acc_opt_fun(out)
+    return ADFunction(out, len(fun.body.result), optimize=optimize)
+
+
+def jvp(f: FunLike, optimize: bool = True) -> ADFunction:
+    """Forward-mode derivative.
+
+    ``jvp(f)(*args, *tangents)`` returns ``(*primal_results, *tangent_results)``.
+    """
+    fun = _pre_ad(_fun_of(f))
+    out = jvp_fun(fun)
+    return ADFunction(out, len(fun.body.result), optimize=optimize)
+
+
+def grad(f: FunLike, optimize: bool = True, wrt=None) -> Callable:
+    """Gradient of a scalar-valued function: ``grad(f)(*args)`` returns the
+    adjoints of the (``wrt``-selected) float parameters."""
+    fun = _fun_of(f)
+    n_res = len(fun.body.result)
+    r0 = fun.body.result[0].type
+    if n_res != 1 or not is_float(r0) or rank_of(r0) != 0:
+        raise ADError("grad: function must return a single float scalar")
+    g = vjp(f, optimize=optimize, wrt=wrt)
+
+    def run(*args, backend: str = "vec"):
+        res = g(*args, 1.0, backend=backend)
+        res = res if isinstance(res, tuple) else (res,)
+        adjs = res[1:]
+        return adjs[0] if len(adjs) == 1 else adjs
+
+    run.adfun = g  # type: ignore[attr-defined]
+    return run
+
+
+def value_and_grad(f: FunLike, optimize: bool = True, wrt=None) -> Callable:
+    """Like ``grad`` but also returns the primal value."""
+    fun = _fun_of(f)
+    r0 = fun.body.result[0].type
+    if len(fun.body.result) != 1 or not is_float(r0) or rank_of(r0) != 0:
+        raise ADError("value_and_grad: function must return a single float scalar")
+    g = vjp(f, optimize=optimize, wrt=wrt)
+
+    def run(*args, backend: str = "vec"):
+        res = g(*args, 1.0, backend=backend)
+        adjs = res[1:]
+        return res[0], (adjs[0] if len(adjs) == 1 else adjs)
+
+    run.adfun = g  # type: ignore[attr-defined]
+    return run
+
+
+def jacobian(f: FunLike, mode: Optional[str] = None) -> Callable:
+    """Dense Jacobian of a single-input/single-output function.
+
+    ``mode`` is "fwd" (map ``jvp`` over input basis vectors), "rev" (map
+    ``vjp`` over output basis vectors), or None to choose by dimensions at
+    call time — the §2 cost argument.
+    """
+    fun = _fun_of(f)
+    if len(fun.params) != 1 or len(fun.body.result) != 1:
+        raise ADError("jacobian: use vjp/jvp directly for multi-arg functions")
+    fwd = jvp(f)
+    rev = vjp(f)
+
+    def run(x, backend: str = "vec"):
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(compile_fun(fun)(x, backend=backend))
+        n, m = x.size, y.size
+        use = mode or ("fwd" if n <= m else "rev")
+        if use == "fwd":
+            rows = []
+            for i in range(n):
+                seed = np.zeros_like(x).reshape(-1)
+                seed[i] = 1.0
+                out = fwd(x, seed.reshape(x.shape), backend=backend)
+                out = out if isinstance(out, tuple) else (out,)
+                rows.append(np.asarray(out[-1]).reshape(-1))
+            return np.stack(rows, axis=1).reshape(y.shape + x.shape)
+        rows = []
+        for j in range(m):
+            seed = np.zeros_like(y).reshape(-1)
+            seed[j] = 1.0
+            out = rev(x, seed.reshape(y.shape), backend=backend)
+            out = out if isinstance(out, tuple) else (out,)
+            rows.append(np.asarray(out[-1]).reshape(-1))
+        return np.stack(rows, axis=0).reshape(y.shape + x.shape)
+
+    return run
+
+
+def hessian_diag(f: FunLike, wrt: int = 0) -> Callable:
+    """Diagonal of the Hessian of a scalar function with respect to the
+    ``wrt``-th parameter, computed with a *single* ``jvp(vjp(f))``
+    invocation: when the Hessian is diagonal, seeding the all-ones tangent
+    returns ``H·1`` = the diagonal — the sparsity-through-seeding trick of
+    §7.4 (k-means).  Other parameters are treated as data."""
+    fun = _pre_ad(_fun_of(f))
+    r0 = fun.body.result[0].type
+    if len(fun.body.result) != 1 or not is_float(r0) or rank_of(r0) != 0:
+        raise ADError("hessian_diag: function must return a single float scalar")
+    if not is_float(fun.params[wrt].type):
+        raise ADError("hessian_diag: wrt parameter must be a float array")
+    from ..opt.acc_opt import acc_opt_fun
+
+    gradf = vjp_fun(fun, wrt=[wrt])  # (params..., seed) -> (y, xbar)
+    gradf = acc_opt_fun(optimize_fun(gradf))
+    hof = jvp_fun(optimize_fun(gradf))
+    compiled = ADFunction(hof, len(gradf.body.result))
+
+    def run(*args, backend: str = "vec"):
+        tangents = []
+        for i, (p, a) in enumerate(zip(fun.params, args)):
+            if is_float(p.type):
+                a = np.asarray(a, dtype=np.float64)
+                tangents.append(np.ones_like(a) if i == wrt else np.zeros_like(a))
+        # gradf args: (args..., seed); tangents follow for its float params.
+        out = compiled(*args, 1.0, *tangents, 0.0, backend=backend)
+        # Results: (y, x̄, ẏ, x̄̇) — the last is (d/dε)∇f(x+ε·1) = H·1.
+        return np.asarray(out[-1])
+
+    run.adfun = compiled  # type: ignore[attr-defined]
+    return run

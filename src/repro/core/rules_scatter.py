@@ -1,0 +1,57 @@
+"""Reverse AD of ``scatter`` (paper §5.3).
+
+For ``ys = scatter xs is vs`` (no duplicate indices):
+
+* ``v̄s += gather ȳs is``  — each written slot's adjoint flows to its value;
+* ``x̄s  = scatter ȳs is 0`` — the overwritten slots of ``xs`` never reached
+  the output, so their adjoints are zeroed;
+* the paper additionally saves and restores the overwritten elements
+  (``xs_saved``) because its ``scatter`` consumes ``xs`` in place; our
+  executors are copy-on-write, so ``xs`` is still live and no restore is
+  needed — the rule's work remains O(m), not O(n).
+"""
+from __future__ import annotations
+
+from ..ir.ast import Lambda, Scatter, Size, Stm, Var, ZerosLike
+from ..ir.builder import Builder, const
+from ..ir.types import I64, elem_type, is_float
+from ..util import fresh
+from .adjoint import AdjScope
+
+__all__ = ["rev_scatter"]
+
+
+def rev_scatter(vjp, stm: Stm, e: Scatter, sc: AdjScope) -> None:
+    if not is_float(stm.pat[0].type):
+        return
+    b = sc.b
+    ybar = sc.lookup(stm.pat[0])
+    if not isinstance(ybar, Var):
+        ybar = b.copy(ybar, "ybar")
+    n = b.emit1(Size(e.dest), "n")
+
+    # v̄s += gather ȳs is (out-of-range writes were dropped; guard likewise).
+    et = elem_type(e.vals.type)
+    vrank = e.vals.type.rank
+    ix = Var(fresh("ix"), elem_type(e.inds.type))
+    gb = Builder()
+    lo = gb.binop("ge", ix, const(0, I64), "lo")
+    hi = gb.binop("lt", ix, n, "hi")
+    ok = gb.binop("and", lo, hi, "ok")
+    nm1 = gb.sub(n, const(1, I64), "nm1")
+    safe0 = gb.binop("max", ix, const(0, I64), "s0")
+    safe = gb.binop("min", safe0, nm1, "safe")
+    hv = gb.index(ybar, (safe,), "hv")
+    if vrank == 1:
+        zero = const(0.0, et)
+        cv = gb.select(ok, hv, zero, "cv")
+    else:
+        z = gb.zeros_like(hv)
+        cv = gb.select(ok, hv, z, "cv")
+    (contrib,) = b.map(Lambda((ix,), gb.finish([cv])), [e.inds], names=["c"])
+    sc.add(e.vals, contrib)
+
+    # x̄s = ȳs with the scattered slots zeroed.
+    zv = b.emit1(ZerosLike(e.vals), "zv")
+    xsbar = b.scatter(ybar, e.inds, zv, e.dest.name + "_bar")
+    sc.add(e.dest, xsbar)

@@ -1,0 +1,4 @@
+"""Executors: reference interpreter, vectorised SIMT simulator, cost model."""
+from .cost import Cost, CostRecorder  # noqa: F401
+from .interp import RefInterp, run_fun  # noqa: F401
+from .values import AccVal, coerce_arg, zeros_of  # noqa: F401

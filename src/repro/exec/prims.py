@@ -1,0 +1,102 @@
+"""NumPy implementations of the scalar primitives.
+
+All primitives are elementwise and rank-polymorphic (NumPy broadcasting), so
+the same table serves the reference interpreter (on scalars) and the
+vectorised interpreter (on whole batches).
+"""
+from __future__ import annotations
+
+import numpy as np
+
+try:  # scipy is available in this environment, but keep a fallback.
+    from scipy.special import erf as _erf
+except Exception:  # pragma: no cover
+    _vec_erf = np.vectorize(__import__("math").erf)
+
+    def _erf(x):
+        return _vec_erf(x)
+
+from ..util import ExecError
+
+__all__ = ["apply_unop", "apply_binop", "cast_to", "NEUTRAL"]
+
+
+def _sigmoid(x):
+    # Numerically-stable logistic.
+    return 0.5 * (np.tanh(np.asarray(x) * 0.5) + 1.0)
+
+
+_UNOPS = {
+    "neg": np.negative,
+    "sin": np.sin,
+    "cos": np.cos,
+    "tan": np.tan,
+    "exp": np.exp,
+    "log": np.log,
+    "sqrt": np.sqrt,
+    "abs": np.abs,
+    "sgn": np.sign,
+    "not": np.logical_not,
+    "tanh": np.tanh,
+    "sigmoid": _sigmoid,
+    "floor": np.floor,
+    "erf": _erf,
+}
+
+
+def _div(x, y):
+    # Integer division is Futhark-style truncating-toward-negative-infinity
+    # (NumPy floor division); float division is true division.
+    if np.issubdtype(np.asarray(x).dtype, np.integer):
+        return x // y
+    return x / y
+
+
+_BINOPS = {
+    "add": np.add,
+    "sub": np.subtract,
+    "mul": np.multiply,
+    "div": _div,
+    "pow": np.power,
+    "min": np.minimum,
+    "max": np.maximum,
+    "and": np.logical_and,
+    "or": np.logical_or,
+    "lt": np.less,
+    "le": np.less_equal,
+    "gt": np.greater,
+    "ge": np.greater_equal,
+    "eq": np.equal,
+    "ne": np.not_equal,
+    "mod": np.mod,
+}
+
+#: Neutral elements for the specialisable commutative operators (used by the
+#: reduce/scan/hist rules and by predication in the vectorised interpreter).
+NEUTRAL = {
+    "add": 0,
+    "mul": 1,
+    "min": np.inf,
+    "max": -np.inf,
+}
+
+
+def apply_unop(op: str, x):
+    try:
+        f = _UNOPS[op]
+    except KeyError:
+        raise ExecError(f"unknown unary op {op!r}") from None
+    return f(x)
+
+
+def apply_binop(op: str, x, y):
+    try:
+        f = _BINOPS[op]
+    except KeyError:
+        raise ExecError(f"unknown binary op {op!r}") from None
+    return f(x, y)
+
+
+def cast_to(x, dtype):
+    x = np.asarray(x)
+    return x.astype(dtype)

@@ -1,0 +1,685 @@
+"""Vectorised interpreter — the "GPU" of this reproduction.
+
+Evaluates ``map`` nests by *batching* instead of looping: entering a ``map``
+pushes a batch level, lambda parameters become whole NumPy arrays with a
+leading batch axis, and every scalar statement of the (possibly deeply
+nested) lambda body executes as one bulk NumPy op over all iterations at
+once.  This is the flattening execution model the paper relies on (§4.1):
+perfectly nested maps cost one bulk operation per scalar statement.
+
+Divergent control flow is executed SIMT-style:
+
+* ``If`` under a batched condition runs *both* branches under complementary
+  predication masks and selects results with ``where`` — what a GPU warp
+  does;
+* ``Loop``/``WhileLoop`` with lane-varying trip counts run to the maximum
+  trip count with per-lane active masks;
+* accumulator updates (``UpdAcc``) become ``np.add.at`` — the moral
+  equivalent of the CUDA ``atomicAdd`` the paper lowers accumulators to —
+  with inactive lanes contributing zero.
+
+Batched values are ``BV(data, bdims)``: ``data`` carries ``bdims`` leading
+batch axes aligned with the interpreter's batch-size stack.  Batch axes may
+have size 1 (kept broadcastable); values are only materialised to full batch
+extent where in-place writes require ownership.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ir.analysis import recognize_binop_lambda
+from ..ir.ast import (
+    AtomExp,
+    Atom,
+    BinOp,
+    Body,
+    Cast,
+    Concat,
+    Exp,
+    Fun,
+    If,
+    Index,
+    Iota,
+    Loop,
+    Map,
+    Reduce,
+    ReduceByIndex,
+    Replicate,
+    Reverse,
+    Scan,
+    Scatter,
+    ScratchLike,
+    Select,
+    Size,
+    UnOp,
+    UpdAcc,
+    Update,
+    Var,
+    WhileLoop,
+    WithAcc,
+    ZerosLike,
+)
+from ..ir.types import np_dtype
+from ..util import ExecError
+from .prims import apply_binop, apply_unop, cast_to
+from .values import coerce_arg
+
+__all__ = ["VecInterp", "run_fun_vec", "BV", "AccBV"]
+
+_UFUNC = {"add": np.add, "mul": np.multiply, "min": np.minimum, "max": np.maximum}
+
+
+def _neutral_of(op: str, dt: np.dtype):
+    """The neutral element of a specialisable op at a concrete dtype."""
+    if op == "add":
+        return dt.type(0)
+    if op == "mul":
+        return dt.type(1)
+    if dt.kind == "f":
+        return dt.type(np.inf if op == "min" else -np.inf)
+    info = np.iinfo(dt)
+    return dt.type(info.max if op == "min" else info.min)
+
+
+@dataclass
+class BV:
+    """A batched value: ``bdims`` leading batch axes, then the payload."""
+
+    data: np.ndarray
+    bdims: int
+
+    @property
+    def prank(self) -> int:
+        return np.asarray(self.data).ndim - self.bdims
+
+    def pshape(self) -> Tuple[int, ...]:
+        return np.asarray(self.data).shape[self.bdims:]
+
+
+@dataclass
+class AccBV:
+    """A mutable batched accumulator buffer (always fully materialised)."""
+
+    data: np.ndarray
+    bdims: int
+
+
+def _expand(v: BV, k: int) -> np.ndarray:
+    """Raise ``v`` to ``k`` batch dims by inserting singleton axes."""
+    d = np.asarray(v.data)
+    if v.bdims == k:
+        return d
+    if v.bdims > k:
+        raise ExecError("cannot lower batch dims")
+    return d.reshape(d.shape[: v.bdims] + (1,) * (k - v.bdims) + d.shape[v.bdims:])
+
+
+def _align(vs: Sequence[BV]) -> Tuple[List[np.ndarray], int, int]:
+    """Expand values to a common batch depth and payload rank so that plain
+    NumPy broadcasting implements the IR's elementwise semantics."""
+    k = max(v.bdims for v in vs)
+    pmax = max(v.prank for v in vs)
+    out = []
+    for v in vs:
+        d = _expand(v, k)
+        p = d.ndim - k
+        if p < pmax:
+            d = d.reshape(d.shape[:k] + (1,) * (pmax - p) + d.shape[k:])
+        out.append(d)
+    return out, k, pmax
+
+
+def _grids(prefix: Tuple[int, ...], extra: int = 0) -> Tuple[np.ndarray, ...]:
+    """Open index grids over the leading axes, padded with ``extra`` trailing
+    singleton dims so they broadcast against deeper index arrays."""
+    k = len(prefix)
+    gs = []
+    for a, s in enumerate(prefix):
+        shape = (1,) * a + (s,) + (1,) * (k - 1 - a + extra)
+        gs.append(np.arange(s).reshape(shape))
+    return tuple(gs)
+
+
+class VecInterp:
+    """Vectorising evaluator (one instance per call; not reentrant)."""
+
+    def __init__(self) -> None:
+        self.bstack: List[int] = []
+        self.mask: Optional[BV] = None  # boolean BV with payload rank 0
+
+    # -- entry ----------------------------------------------------------------
+
+    def run(self, fun: Fun, args: Sequence[object]) -> Tuple[object, ...]:
+        if len(args) != len(fun.params):
+            raise ExecError(
+                f"{fun.name}: expected {len(fun.params)} arguments, got {len(args)}"
+            )
+        env: Dict[str, object] = {}
+        for p, a in zip(fun.params, args):
+            env[p.name] = BV(np.asarray(coerce_arg(a, p.type)), 0)
+        with np.errstate(all="ignore"):
+            res = self.eval_body(fun.body, env)
+        out = []
+        for r in res:
+            if isinstance(r, AccBV):
+                raise ExecError("accumulator escaped to top level")
+            d = np.asarray(r.data)
+            out.append(d if d.ndim else d[()])
+        return tuple(out)
+
+    # -- environment --------------------------------------------------------------
+
+    def atom(self, a: Atom, env):
+        if isinstance(a, Var):
+            try:
+                return env[a.name]
+            except KeyError:
+                raise ExecError(f"unbound variable {a.name}") from None
+        return BV(np.asarray(np_dtype(a.type)(a.value)), 0)
+
+    def eval_body(self, body: Body, env) -> Tuple[object, ...]:
+        for stm in body.stms:
+            vals = self.eval_exp(stm.exp, env)
+            if len(vals) != len(stm.pat):
+                raise ExecError(f"statement binds {len(stm.pat)} vars, got {len(vals)}")
+            for v, val in zip(stm.pat, vals):
+                env[v.name] = val
+        return tuple(self.atom(r, env) for r in body.result)
+
+    # -- masking ---------------------------------------------------------------------
+
+    @staticmethod
+    def _combine_mask(m: Optional[BV], extra: BV) -> BV:
+        if m is None:
+            return extra
+        datas, k, _ = _align([m, extra])
+        return BV(np.logical_and(datas[0], datas[1]), k)
+
+    def _mask_where(self, v: np.ndarray, k: int, neutral) -> np.ndarray:
+        """Replace inactive lanes' elements of ``v`` (batch depth ``k``) by
+        ``neutral``."""
+        if self.mask is None:
+            return v
+        md = _expand(self.mask, k) if self.mask.bdims <= k else np.asarray(self.mask.data)
+        md = md.reshape(md.shape + (1,) * (np.asarray(v).ndim - md.ndim))
+        return np.where(md, v, neutral)
+
+    # -- elementwise ---------------------------------------------------------------------
+
+    def _elem(self, f, *vs) -> BV:
+        datas, k, _ = _align(list(vs))
+        return BV(np.asarray(f(*datas)), k)
+
+    def _where(self, c: BV, t, f):
+        if isinstance(t, AccBV) or isinstance(f, AccBV):
+            if t is f:
+                return t
+            raise ExecError("accumulators must be threaded identically through branches")
+        return self._elem(np.where, c, t, f)
+
+    # -- expressions ------------------------------------------------------------------------
+
+    def eval_exp(self, e: Exp, env) -> Tuple[object, ...]:
+        if isinstance(e, AtomExp):
+            return (self.atom(e.x, env),)
+
+        if isinstance(e, UnOp):
+            return (self._elem(lambda d: apply_unop(e.op, d), self.atom(e.x, env)),)
+
+        if isinstance(e, BinOp):
+            return (
+                self._elem(
+                    lambda a, b: apply_binop(e.op, a, b),
+                    self.atom(e.x, env),
+                    self.atom(e.y, env),
+                ),
+            )
+
+        if isinstance(e, Select):
+            return (
+                self._where(
+                    self.atom(e.c, env), self.atom(e.t, env), self.atom(e.f, env)
+                ),
+            )
+
+        if isinstance(e, Cast):
+            v = self.atom(e.x, env)
+            return (BV(cast_to(v.data, np_dtype(e.to)), v.bdims),)
+
+        if isinstance(e, Index):
+            return (self._gather(self.atom(e.arr, env), [self.atom(i, env) for i in e.idx]),)
+
+        if isinstance(e, Update):
+            return (self._update(e, env),)
+
+        if isinstance(e, Iota):
+            n = self._static_int(e.n, env, "iota length")
+            return (BV(np.arange(n, dtype=np_dtype(e.elem)), 0),)
+
+        if isinstance(e, Replicate):
+            n = self._static_int(e.n, env, "replicate count")
+            v = self.atom(e.v, env)
+            d = np.asarray(v.data)
+            d2 = np.expand_dims(d, axis=v.bdims)
+            shape = d.shape[: v.bdims] + (n,) + d.shape[v.bdims:]
+            return (BV(np.broadcast_to(d2, shape).copy(), v.bdims),)
+
+        if isinstance(e, ZerosLike):
+            v = self.atom(e.x, env)
+            return (BV(np.zeros_like(np.asarray(v.data)), v.bdims),)
+
+        if isinstance(e, ScratchLike):
+            # Checkpoint buffers may have lane-varying logical extents (loops
+            # with data-dependent trip counts); allocate the maximum — the
+            # slack is never read back.
+            nv = self.atom(e.n, env)
+            nd = np.asarray(nv.data)
+            n = 0 if nd.size == 0 else int(nd.max())
+            v = self.atom(e.x, env)
+            bshape = tuple(self.bstack)
+            dt = np.asarray(v.data).dtype
+            return (BV(np.zeros(bshape + (n,) + v.pshape(), dtype=dt), len(bshape)),)
+
+        if isinstance(e, Size):
+            v = self.atom(e.arr, env)
+            if isinstance(v, AccBV):
+                shape = v.data.shape[v.bdims:]
+                return (BV(np.asarray(np.int64(shape[e.dim])), 0),)
+            return (BV(np.asarray(np.int64(v.pshape()[e.dim])), 0),)
+
+        if isinstance(e, Reverse):
+            v = self.atom(e.x, env)
+            return (BV(np.flip(np.asarray(v.data), axis=v.bdims).copy(), v.bdims),)
+
+        if isinstance(e, Concat):
+            x = self.atom(e.x, env)
+            y = self.atom(e.y, env)
+            (dx, dy), k, _ = _align([x, y])
+            bx = np.broadcast_shapes(dx.shape[:k], dy.shape[:k])
+            dx = np.broadcast_to(dx, bx + dx.shape[k:])
+            dy = np.broadcast_to(dy, bx + dy.shape[k:])
+            return (BV(np.concatenate([dx, dy], axis=k), k),)
+
+        if isinstance(e, Map):
+            return self._eval_map(e, env)
+        if isinstance(e, Reduce):
+            return self._eval_reduce(e, env)
+        if isinstance(e, Scan):
+            return self._eval_scan(e, env)
+        if isinstance(e, ReduceByIndex):
+            return self._eval_hist(e, env)
+        if isinstance(e, Scatter):
+            return (self._eval_scatter(e, env),)
+        if isinstance(e, Loop):
+            return self._eval_loop(e, env)
+        if isinstance(e, WhileLoop):
+            return self._eval_while(e, env)
+        if isinstance(e, If):
+            return self._eval_if(e, env)
+        if isinstance(e, WithAcc):
+            return self._eval_withacc(e, env)
+        if isinstance(e, UpdAcc):
+            return (self._eval_updacc(e, env),)
+
+        raise ExecError(f"vec eval: unknown expression {type(e).__name__}")
+
+    # -- helpers ---------------------------------------------------------------------------
+
+    def _static_int(self, a: Atom, env, what: str) -> int:
+        v = self.atom(a, env)
+        d = np.asarray(v.data)
+        if d.size == 0:
+            return 0
+        u = np.unique(d)
+        if u.size != 1:
+            raise ExecError(
+                f"{what} varies across parallel lanes (irregular nested "
+                f"parallelism is not supported by the vectorised backend)"
+            )
+        return int(u[0])
+
+    def _gather(self, arr: BV, idxs: List[BV]) -> BV:
+        k = max([arr.bdims] + [i.bdims for i in idxs])
+        ad = _expand(arr, k)
+        # Clip for memory safety: inactive/divergent lanes may hold garbage
+        # indices; their results are never selected downstream.
+        sel = []
+        for a, i in enumerate(idxs):
+            dim = ad.shape[k + a]
+            sel.append(np.clip(_expand(i, k), 0, max(dim - 1, 0)))
+        if k == 0:
+            out = ad[tuple(int(np.asarray(i)[()]) for i in sel)]
+            return BV(np.asarray(out), 0)
+        out = ad[_grids(ad.shape[:k]) + tuple(sel)]
+        return BV(np.asarray(out), k)
+
+    def _update(self, e: Update, env) -> BV:
+        arr = self.atom(e.arr, env)
+        idxs = [self.atom(i, env) for i in e.idx]
+        val = self.atom(e.val, env)
+        k = max([arr.bdims, val.bdims] + [i.bdims for i in idxs])
+        if self.mask is not None:
+            k = max(k, self.mask.bdims)
+        # Materialise the destination at full batch size: each lane owns a
+        # private copy (functional semantics), so lanes never collide.
+        bshape = tuple(self.bstack[:k])
+        ad = _expand(arr, k)
+        ad = np.broadcast_to(ad, bshape + ad.shape[k:]).copy()
+        sel = _grids(bshape) + tuple(
+            np.clip(_expand(i, k), 0, max(ad.shape[k + a] - 1, 0))
+            for a, i in enumerate(idxs)
+        )
+        vd = _expand(val, k)
+        if self.mask is None:
+            ad[sel] = vd
+        else:
+            old = ad[sel]
+            md = _expand(self.mask, k)
+            md = md.reshape(md.shape + (1,) * (old.ndim - md.ndim))
+            ad[sel] = np.where(md, vd, old)
+        return BV(ad, k)
+
+    # -- SOACs ------------------------------------------------------------------------------
+
+    def _map_args(self, e_arrs: Tuple[Var, ...], env) -> Tuple[List[BV], int]:
+        d = len(self.bstack)
+        params: List[BV] = []
+        n: Optional[int] = None
+        for a in e_arrs:
+            v = self.atom(a, env)
+            dd = _expand(v, d)
+            if dd.ndim <= d:
+                raise ExecError("map/soac: argument has no payload axis")
+            ln = dd.shape[d]
+            if n is None:
+                n = ln
+            elif ln != n:
+                raise ExecError(f"map/soac: array length mismatch {n} vs {ln}")
+            params.append(BV(dd, d + 1))
+        return params, int(n or 0)
+
+    def _eval_map(self, e: Map, env) -> Tuple[object, ...]:
+        d = len(self.bstack)
+        params, n = self._map_args(e.arrs, env)
+        accs = [self.atom(a, env) for a in e.accs]
+        for p, v in zip(e.lam.params, params + accs):
+            env[p.name] = v
+        self.bstack.append(n)
+        try:
+            res = self.eval_body(e.lam.body, env)
+        finally:
+            self.bstack.pop()
+        out: List[object] = []
+        for r in res[: len(e.accs)]:
+            if not isinstance(r, AccBV):
+                raise ExecError("map: accumulator results must lead")
+            out.append(r)
+        for r in res[len(e.accs):]:
+            rd = _expand(r, d + 1)
+            if rd.shape[d] != n:  # materialise the new payload axis
+                rd = np.broadcast_to(rd, rd.shape[:d] + (n,) + rd.shape[d + 1:])
+            out.append(BV(np.ascontiguousarray(rd), d))
+        return tuple(out)
+
+    def _eval_reduce(self, e: Reduce, env) -> Tuple[object, ...]:
+        d = len(self.bstack)
+        args, n = self._map_args(e.arrs, env)
+        op = recognize_binop_lambda(e.lam) if len(e.nes) == 1 else None
+        if op is not None:
+            data = np.asarray(args[0].data)
+            if data.shape[d] == 0:
+                ne = self.atom(e.nes[0], env)
+                nd = _expand(ne, d)
+                shape = data.shape[:d] + data.shape[d + 1:]
+                return (BV(np.broadcast_to(nd, shape).copy(), d),)
+            return (BV(_UFUNC[op].reduce(data, axis=d), d),)
+        # General fold: sequential over the reduced axis, batched over lanes.
+        acc = [self.atom(ne, env) for ne in e.nes]
+        for i in range(n):
+            elems = [BV(np.take(np.asarray(a.data), i, axis=d), d) for a in args]
+            for p, v in zip(e.lam.params, acc + elems):
+                env[p.name] = v
+            acc = list(self.eval_body(e.lam.body, env))
+        return tuple(acc)
+
+    def _eval_scan(self, e: Scan, env) -> Tuple[object, ...]:
+        d = len(self.bstack)
+        args, n = self._map_args(e.arrs, env)
+        op = recognize_binop_lambda(e.lam) if len(e.nes) == 1 else None
+        if op is not None:
+            data = np.asarray(args[0].data)
+            return (BV(_UFUNC[op].accumulate(data, axis=d), d),)
+        acc = [self.atom(ne, env) for ne in e.nes]
+        cols: List[List[np.ndarray]] = [[] for _ in e.nes]
+        for i in range(n):
+            elems = [BV(np.take(np.asarray(a.data), i, axis=d), d) for a in args]
+            for p, v in zip(e.lam.params, acc + elems):
+                env[p.name] = v
+            acc = list(self.eval_body(e.lam.body, env))
+            for j, a in enumerate(acc):
+                cols[j].append(_expand(a, d))
+        outs = []
+        for j, col in enumerate(cols):
+            if n == 0:
+                ne = self.atom(e.nes[j], env)
+                dt = np.asarray(ne.data).dtype
+                outs.append(BV(np.zeros((0,) * (ne.prank + 1), dtype=dt), 0))
+                continue
+            shape = np.broadcast_shapes(*[c.shape for c in col])
+            col = [np.broadcast_to(c, shape) for c in col]
+            outs.append(BV(np.stack(col, axis=d), d))
+        return tuple(outs)
+
+    def _eval_hist(self, e: ReduceByIndex, env) -> Tuple[object, ...]:
+        d = len(self.bstack)
+        m = self._static_int(e.num_bins, env, "histogram size")
+        args, n = self._map_args((e.inds,) + e.vals, env)
+        inds, vals = args[0], list(args[1:])
+        bshape = tuple(self.bstack)
+        idata = np.broadcast_to(np.asarray(inds.data), bshape + (n,))
+        valid = (idata >= 0) & (idata < m)
+        if self.mask is not None:
+            md = _expand(self.mask, d)
+            md = np.broadcast_to(
+                md.reshape(md.shape + (1,) * (valid.ndim - md.ndim)), valid.shape
+            )
+            valid = valid & md
+        isel = _grids(bshape, extra=1) + (np.clip(idata, 0, max(m - 1, 0)),)
+        op = recognize_binop_lambda(e.lam) if len(e.nes) == 1 else None
+        if op is not None:
+            v = vals[0]
+            pe = v.pshape()  # element payload shape (beyond the n axis)
+            vdata = np.broadcast_to(np.asarray(v.data), bshape + (n,) + pe)
+            dt = vdata.dtype
+            ne = self.atom(e.nes[0], env)
+            hist = np.ascontiguousarray(
+                np.broadcast_to(
+                    np.expand_dims(_expand(ne, d), axis=d), bshape + (m,) + pe
+                ).astype(dt)
+            )
+            neutral = _neutral_of(op, dt)
+            w = valid.reshape(valid.shape + (1,) * (vdata.ndim - valid.ndim))
+            contrib = np.where(w, vdata, neutral)
+            _UFUNC[op].at(hist, isel, contrib)
+            return (BV(hist, d),)
+        # General path: sequential over elements, batched over lanes.
+        hists = []
+        for ne, v in zip(e.nes, vals):
+            nev = self.atom(ne, env)
+            pshape = v.pshape()
+            dt = np.asarray(v.data).dtype
+            h = np.broadcast_to(
+                np.expand_dims(_expand(nev, d), axis=d),
+                bshape + (m,) + pshape,
+            ).astype(dt)
+            hists.append(np.ascontiguousarray(h))
+        gsel = _grids(bshape)
+        for i in range(n):
+            b = idata[..., i]
+            vi = valid[..., i]
+            s = gsel + (np.clip(b, 0, max(m - 1, 0)),)
+            cur = [BV(h[s], d) for h in hists]
+            elems = [BV(np.take(np.asarray(v.data), i, axis=d), d) for v in vals]
+            for p, val in zip(e.lam.params, cur + elems):
+                env[p.name] = val
+            new = self.eval_body(e.lam.body, env)
+            for h, nv in zip(hists, new):
+                nd = _expand(nv, d)
+                old = h[s]
+                w = vi.reshape(vi.shape + (1,) * (old.ndim - vi.ndim))
+                h[s] = np.where(w, np.broadcast_to(nd, old.shape), old)
+        return tuple(BV(h, d) for h in hists)
+
+    def _eval_scatter(self, e: Scatter, env) -> BV:
+        d = len(self.bstack)
+        dest = self.atom(e.dest, env)
+        args, n = self._map_args((e.inds, e.vals), env)
+        inds, vals = args
+        bshape = tuple(self.bstack)
+        dd = _expand(dest, d)
+        dd = np.broadcast_to(dd, bshape + dd.shape[d:]).copy()
+        ln = dd.shape[d]
+        idata = np.broadcast_to(np.asarray(inds.data), bshape + (n,))
+        pe = vals.pshape()
+        vdata = np.broadcast_to(np.asarray(vals.data), bshape + (n,) + pe)
+        valid = (idata >= 0) & (idata < ln)
+        if self.mask is not None:
+            md = _expand(self.mask, d)
+            md = np.broadcast_to(
+                md.reshape(md.shape + (1,) * (valid.ndim - md.ndim)), valid.shape
+            )
+            valid = valid & md
+        sel = _grids(bshape, extra=1) + (np.clip(idata, 0, max(ln - 1, 0)),)
+        old = dd[sel]
+        w = valid.reshape(valid.shape + (1,) * (old.ndim - valid.ndim))
+        dd[sel] = np.where(w, np.broadcast_to(vdata, old.shape), old)
+        return BV(dd, d)
+
+    # -- control flow ----------------------------------------------------------------------
+
+    def _eval_if(self, e: If, env) -> Tuple[object, ...]:
+        c = self.atom(e.cond, env)
+        cd = np.asarray(c.data)
+        if cd.size == 1 and self.mask is None:
+            branch = e.then if bool(cd.reshape(-1)[0]) else e.els
+            return self.eval_body(branch, env)
+        saved = self.mask
+        notc = BV(np.logical_not(cd), c.bdims)
+        self.mask = self._combine_mask(saved, c)
+        tvals = self.eval_body(e.then, env)
+        self.mask = self._combine_mask(saved, notc)
+        fvals = self.eval_body(e.els, env)
+        self.mask = saved
+        return tuple(self._where(c, t, f) for t, f in zip(tvals, fvals))
+
+    def _eval_loop(self, e: Loop, env) -> Tuple[object, ...]:
+        nv = self.atom(e.n, env)
+        nd = np.asarray(nv.data)
+        nmax = 0 if nd.size == 0 else int(nd.max())
+        state = [self.atom(i, env) for i in e.inits]
+        uniform = nd.size == 1 or (nd.size > 0 and nd.min() == nd.max())
+        saved = self.mask
+        for i in range(nmax):
+            env[e.ivar.name] = BV(np.asarray(np.int64(i)), 0)
+            if not uniform:
+                active = BV(i < nd, nv.bdims)
+                self.mask = self._combine_mask(saved, active)
+            for p, v in zip(e.params, state):
+                env[p.name] = v
+            new = list(self.eval_body(e.body, env))
+            if uniform:
+                state = new
+            else:
+                active = BV(i < nd, nv.bdims)
+                state = [
+                    s2 if isinstance(s2, AccBV) else self._where(active, s2, s)
+                    for s, s2 in zip(state, new)
+                ]
+                self.mask = saved
+        self.mask = saved
+        return tuple(state)
+
+    def _eval_while(self, e: WhileLoop, env) -> Tuple[object, ...]:
+        state = [self.atom(i, env) for i in e.inits]
+        saved = self.mask
+        fuel = 10_000_000
+        while True:
+            for p, v in zip(e.cond.params, state):
+                env[p.name] = v
+            (c,) = self.eval_body(e.cond.body, env)
+            active = self._combine_mask(saved, c)
+            if not np.any(np.asarray(active.data)):
+                break
+            self.mask = active
+            for p, v in zip(e.params, state):
+                env[p.name] = v
+            new = list(self.eval_body(e.body, env))
+            state = [
+                s2 if isinstance(s2, AccBV) else self._where(active, s2, s)
+                for s, s2 in zip(state, new)
+            ]
+            self.mask = saved
+            fuel -= 1
+            if fuel <= 0:
+                raise ExecError("while loop exceeded iteration fuel")
+        self.mask = saved
+        return tuple(state)
+
+    # -- accumulators -------------------------------------------------------------------------
+
+    def _eval_withacc(self, e: WithAcc, env) -> Tuple[object, ...]:
+        d = len(self.bstack)
+        bshape = tuple(self.bstack)
+        accs = []
+        for a in e.arrs:
+            v = self.atom(a, env)
+            ad = _expand(v, d)
+            ad = np.broadcast_to(ad, bshape + ad.shape[d:]).copy()
+            accs.append(AccBV(ad, d))
+        for p, acc in zip(e.lam.params, accs):
+            env[p.name] = acc
+        res = self.eval_body(e.lam.body, env)
+        out: List[object] = []
+        for r in res[: len(accs)]:
+            if not isinstance(r, AccBV):
+                raise ExecError("withacc: lambda must return its accumulators")
+            out.append(BV(r.data, r.bdims))
+        out.extend(res[len(accs):])
+        return tuple(out)
+
+    def _eval_updacc(self, e: UpdAcc, env) -> AccBV:
+        acc = self.atom(e.acc, env)
+        if not isinstance(acc, AccBV):
+            raise ExecError("upd: operand is not an accumulator")
+        v = self.atom(e.v, env)
+        idxs = [self.atom(i, env) for i in e.idx]
+        k = max([v.bdims, acc.bdims] + [i.bdims for i in idxs])
+        if self.mask is not None:
+            k = max(k, self.mask.bdims)
+        bshape = tuple(self.bstack[:k])
+        vd = _expand(v, k)
+        vd = np.broadcast_to(vd, bshape + vd.shape[k:])
+        vd = self._mask_where(vd, k, np.zeros((), dtype=vd.dtype))
+        if not idxs:
+            # Whole-array add: contributions from deeper batch levels sum.
+            extra = tuple(range(acc.bdims, k))
+            acc.data += vd.sum(axis=extra) if extra else vd
+            return acc
+        sel = _grids(bshape)[: acc.bdims] + tuple(
+            np.clip(
+                np.broadcast_to(_expand(i, k), bshape),
+                0,
+                max(acc.data.shape[acc.bdims + a] - 1, 0),
+            )
+            for a, i in enumerate(idxs)
+        )
+        np.add.at(acc.data, sel, vd)
+        return acc
+
+
+def run_fun_vec(fun: Fun, args: Sequence[object]) -> Tuple[object, ...]:
+    """Evaluate ``fun`` with the vectorised backend."""
+    return VecInterp().run(fun, args)

@@ -1,0 +1,4 @@
+"""Tracing frontend: stage Python functions into the array IR."""
+from .function import Compiled, compile_fun  # noqa: F401
+from .trace import TVal, arg_types_of, lift, trace, trace_like  # noqa: F401
+from . import ops  # noqa: F401

@@ -1,0 +1,61 @@
+"""Compiled-function wrapper: trace → (optimise) → run on a chosen backend."""
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple
+
+from ..exec.cost import Cost, CostRecorder
+from ..exec.interp import RefInterp
+from ..exec.vector import run_fun_vec
+from ..ir.ast import Fun
+from ..ir.pretty import pretty
+from ..util import ReproError
+
+__all__ = ["Compiled", "compile_fun"]
+
+BACKENDS = ("vec", "ref")
+
+
+class Compiled:
+    """A runnable IR function.
+
+    ``backend="vec"`` (default) uses the vectorised SIMT simulator;
+    ``backend="ref"`` the reference interpreter.  ``cost()`` measures the
+    cost-model counters of a run (reference interpretation).
+    """
+
+    def __init__(self, fun: Fun, optimize: bool = True) -> None:
+        if optimize:
+            from ..opt.pipeline import optimize_fun
+
+            fun = optimize_fun(fun)
+        self.fun = fun
+
+    @property
+    def name(self) -> str:
+        return self.fun.name
+
+    def __repr__(self) -> str:
+        return f"<Compiled {self.fun.name}>"
+
+    def show(self) -> str:
+        """Pretty-printed IR (after optimisation)."""
+        return pretty(self.fun)
+
+    def __call__(self, *args, backend: str = "vec"):
+        if backend not in BACKENDS:
+            raise ReproError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+        if backend == "vec":
+            res = run_fun_vec(self.fun, args)
+        else:
+            res = RefInterp().run(self.fun, args)
+        return res[0] if len(res) == 1 else res
+
+    def cost(self, *args) -> Cost:
+        """Run under the cost model; returns work/span/memory counters."""
+        rec = CostRecorder()
+        RefInterp(rec).run(self.fun, args)
+        return rec.snapshot()
+
+
+def compile_fun(fun: Fun, optimize: bool = True) -> Compiled:
+    return Compiled(fun, optimize=optimize)

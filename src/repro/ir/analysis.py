@@ -1,0 +1,70 @@
+"""Small IR analyses shared by executors, AD rules and optimisation passes."""
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from .ast import AtomExp, BinOp, Body, Const, Lambda, Map, Stm, Var
+
+__all__ = ["recognize_binop_lambda", "recognize_addition", "perfect_map_nest"]
+
+
+def recognize_binop_lambda(lam: Lambda) -> Optional[str]:
+    """If ``lam`` is ``\\x y -> x `op` y`` for a commutative specialisable op,
+    return the op name (``add``/``mul``/``min``/``max``), else None.
+
+    This powers the paper's special-case reduce/scan/hist rules (§5.1.1): the
+    general rules are always sound, the specialised ones are the fast paths.
+    Accepts the operands in either order and tolerates a single intervening
+    copy statement.
+    """
+    if len(lam.params) != 2 or len(lam.body.result) != 1:
+        return None
+    px, py = lam.params
+    body = lam.body
+    res = body.result[0]
+
+    # Unwind trailing copies (t = x op y; r = t).
+    defs = {}
+    for stm in body.stms:
+        if len(stm.pat) == 1:
+            defs[stm.pat[0].name] = stm.exp
+    seen = set()
+    exp = None
+    cur = res
+    while isinstance(cur, Var) and cur.name in defs and cur.name not in seen:
+        seen.add(cur.name)
+        e = defs[cur.name]
+        if isinstance(e, AtomExp):
+            cur = e.x
+            continue
+        exp = e
+        break
+    if not isinstance(exp, BinOp) or exp.op not in ("add", "mul", "min", "max"):
+        return None
+    ops = {a.name for a in (exp.x, exp.y) if isinstance(a, Var)}
+    if ops == {px.name, py.name}:
+        return exp.op
+    return None
+
+
+def recognize_addition(lam: Lambda) -> bool:
+    return recognize_binop_lambda(lam) == "add"
+
+
+def perfect_map_nest(exp) -> Tuple[Tuple[Map, ...], Body]:
+    """Peel a perfect nest of maps: returns the chain of Map nodes and the
+    innermost body.  A nest link requires the lambda body to be exactly one
+    Map statement whose results are the body's results (in order)."""
+    chain = []
+    while isinstance(exp, Map):
+        chain.append(exp)
+        body = exp.lam.body
+        if (
+            len(body.stms) == 1
+            and isinstance(body.stms[0].exp, Map)
+            and tuple(body.result) == tuple(body.stms[0].pat)
+        ):
+            exp = body.stms[0].exp
+        else:
+            return tuple(chain), body
+    return tuple(chain), None  # type: ignore[return-value]

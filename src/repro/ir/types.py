@@ -1,0 +1,178 @@
+"""Types of the array IR.
+
+The language is rank-typed: an array type records its element (scalar) type
+and its rank, while extents are dynamic and checked by the executors.  This
+mirrors the paper's core language closely enough for the AD transformation —
+the only shape information the transforms need is (a) scalar vs array and
+(b) rank, e.g. to build ``ZerosLike`` adjoints and checkpoint arrays.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Union
+
+import numpy as np
+
+__all__ = [
+    "Scalar",
+    "F32",
+    "F64",
+    "I32",
+    "I64",
+    "BOOL",
+    "ArrayType",
+    "AccType",
+    "Type",
+    "is_float",
+    "is_integral",
+    "elem_type",
+    "array",
+    "np_dtype",
+    "from_np_dtype",
+    "rank_of",
+    "with_rank",
+]
+
+
+class Scalar(Enum):
+    """Primitive scalar types."""
+
+    F32 = "f32"
+    F64 = "f64"
+    I32 = "i32"
+    I64 = "i64"
+    BOOL = "bool"
+
+    def __repr__(self) -> str:  # compact in IR dumps
+        return self.value
+
+    def __str__(self) -> str:
+        return self.value
+
+
+F32 = Scalar.F32
+F64 = Scalar.F64
+I32 = Scalar.I32
+I64 = Scalar.I64
+BOOL = Scalar.BOOL
+
+
+@dataclass(frozen=True)
+class ArrayType:
+    """A rank-``rank`` array of ``elem`` scalars (rank >= 1)."""
+
+    elem: Scalar
+    rank: int
+
+    def __post_init__(self) -> None:
+        if self.rank < 1:
+            raise ValueError(f"array rank must be >= 1, got {self.rank}")
+
+    def __repr__(self) -> str:
+        return "[]" * self.rank + self.elem.value
+
+    def __str__(self) -> str:
+        return repr(self)
+
+
+@dataclass(frozen=True)
+class AccType:
+    """An accumulator view of an array (paper §5.4).
+
+    Accumulators are write-only views supporting ``UpdAcc``; they have no
+    runtime representation distinct from the underlying array but the type
+    system tracks them so the validator can enforce linear use.
+    """
+
+    elem: Scalar
+    rank: int
+
+    def __repr__(self) -> str:
+        return "acc(" + "[]" * self.rank + self.elem.value + ")"
+
+    def __str__(self) -> str:
+        return repr(self)
+
+
+Type = Union[Scalar, ArrayType, AccType]
+
+
+_FLOATS = (Scalar.F32, Scalar.F64)
+_INTS = (Scalar.I32, Scalar.I64)
+
+
+def is_float(t: Type) -> bool:
+    """True if ``t`` is a floating scalar or an array/accumulator thereof."""
+    if isinstance(t, (ArrayType, AccType)):
+        return t.elem in _FLOATS
+    return t in _FLOATS
+
+
+def is_integral(t: Type) -> bool:
+    if isinstance(t, (ArrayType, AccType)):
+        return t.elem in _INTS
+    return t in _INTS
+
+
+def elem_type(t: Type) -> Scalar:
+    """The underlying scalar type of ``t``."""
+    if isinstance(t, (ArrayType, AccType)):
+        return t.elem
+    return t
+
+
+def rank_of(t: Type) -> int:
+    """Array rank of ``t`` (0 for scalars)."""
+    if isinstance(t, (ArrayType, AccType)):
+        return t.rank
+    return 0
+
+
+def with_rank(elem: Scalar, rank: int) -> Type:
+    """Scalar if rank == 0, else an ArrayType."""
+    if rank == 0:
+        return elem
+    return ArrayType(elem, rank)
+
+
+def array(elem: Scalar, rank: int = 1) -> ArrayType:
+    """Convenience constructor for array types."""
+    return ArrayType(elem, rank)
+
+
+_NP_OF = {
+    Scalar.F32: np.float32,
+    Scalar.F64: np.float64,
+    Scalar.I32: np.int32,
+    Scalar.I64: np.int64,
+    Scalar.BOOL: np.bool_,
+}
+
+_OF_NP = {
+    np.dtype(np.float32): Scalar.F32,
+    np.dtype(np.float64): Scalar.F64,
+    np.dtype(np.int32): Scalar.I32,
+    np.dtype(np.int64): Scalar.I64,
+    np.dtype(np.bool_): Scalar.BOOL,
+}
+
+
+def np_dtype(t: Type):
+    """NumPy dtype for the element type of ``t``."""
+    return _NP_OF[elem_type(t)]
+
+
+def from_np_dtype(dt) -> Scalar:
+    """Scalar type corresponding to a NumPy dtype."""
+    dt = np.dtype(dt)
+    if dt in _OF_NP:
+        return _OF_NP[dt]
+    # Accept platform ints (e.g. intp) by widening.
+    if np.issubdtype(dt, np.integer):
+        return Scalar.I64
+    if np.issubdtype(dt, np.floating):
+        return Scalar.F64
+    if np.issubdtype(dt, np.bool_):
+        return Scalar.BOOL
+    raise ValueError(f"unsupported numpy dtype {dt}")

@@ -1,0 +1,71 @@
+"""Structural validation beyond typechecking.
+
+The key extra invariant is the paper's accumulator discipline (§5.4): while an
+array is turned into an accumulator by ``withacc``, the underlying array may
+not be used, accumulators may not escape their region, and each accumulator
+value is used *linearly* (consumed exactly once by ``UpdAcc``/``Map``/``If``
+threading until returned).  We check a pragmatic SSA version of this: every
+accumulator-typed variable is referenced at most once.
+"""
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from ..util import IRError
+from .ast import Body, Exp, Fun, If, Lambda, Loop, Map, Stm, Var, WhileLoop, WithAcc
+from .traversal import exp_atoms, exp_lambdas
+from .types import AccType
+
+__all__ = ["validate_fun"]
+
+
+def _walk_body(body: Body, acc_used: Dict[str, int]) -> None:
+    for stm in body.stms:
+        _walk_exp(stm.exp, acc_used)
+        for v in stm.pat:
+            if isinstance(v.type, AccType):
+                acc_used.setdefault(v.name, 0)
+    for a in body.result:
+        if isinstance(a, Var) and isinstance(a.type, AccType):
+            _use_acc(a, acc_used)
+
+
+def _use_acc(v: Var, acc_used: Dict[str, int]) -> None:
+    acc_used[v.name] = acc_used.get(v.name, 0) + 1
+    if acc_used[v.name] > 1:
+        raise IRError(f"accumulator {v.name} used more than once (non-linear use)")
+
+
+def _walk_exp(e: Exp, acc_used: Dict[str, int]) -> None:
+    for a in exp_atoms(e):
+        if isinstance(a, Var) and isinstance(a.type, AccType):
+            _use_acc(a, acc_used)
+    for lam in exp_lambdas(e):
+        inner = dict(acc_used)
+        for p in lam.params:
+            if isinstance(p.type, AccType):
+                inner.setdefault(p.name, 0)
+        _walk_body(lam.body, inner)
+    if isinstance(e, Loop):
+        inner = dict(acc_used)
+        for p in e.params:
+            if isinstance(p.type, AccType):
+                inner.setdefault(p.name, 0)
+        _walk_body(e.body, inner)
+    elif isinstance(e, WhileLoop):
+        _walk_body(e.body, dict(acc_used))
+    elif isinstance(e, If):
+        # Each branch may consume the same accumulators (only one runs).
+        _walk_body(e.then, dict(acc_used))
+        _walk_body(e.els, dict(acc_used))
+
+
+def validate_fun(fun: Fun) -> None:
+    """Raise IRError on accumulator-discipline violations."""
+    for p in fun.params:
+        if isinstance(p.type, AccType):
+            raise IRError("function parameters may not be accumulators")
+    for r in fun.body.result:
+        if isinstance(r.type, AccType):
+            raise IRError("function results may not be accumulators")
+    _walk_body(fun.body, {})

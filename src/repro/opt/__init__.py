@@ -1,0 +1,3 @@
+"""Optimisation passes over the IR (simplify, DCE, CSE, fusion, acc-opt,
+strip-mining, while-bounding)."""
+from .pipeline import optimize_fun  # noqa: F401

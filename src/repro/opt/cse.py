@@ -1,0 +1,107 @@
+"""Common-subexpression elimination (cheap, pure expressions only).
+
+CSE within and across lexical scopes (inner scopes may reuse outer bindings,
+never the reverse).  Only cheap pure expressions are candidates — scalar
+ops, indexing, sizes, constructors — which is where AD-generated code
+duplicates work (the re-executed forward sweeps and the partial-derivative
+lambdas share many subexpressions with the return sweep of the same scope).
+"""
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..ir.ast import (
+    AtomExp,
+    Atom,
+    BinOp,
+    Body,
+    Cast,
+    Exp,
+    Fun,
+    If,
+    Index,
+    Iota,
+    Lambda,
+    Loop,
+    Map,
+    Reduce,
+    ReduceByIndex,
+    Replicate,
+    Reverse,
+    Scan,
+    Select,
+    Size,
+    Stm,
+    UnOp,
+    Var,
+    WhileLoop,
+    WithAcc,
+    ZerosLike,
+)
+from ..ir.traversal import subst_exp
+
+__all__ = ["cse_fun", "cse_body"]
+
+_CHEAP = (UnOp, BinOp, Select, Cast, Index, Size, Iota, Replicate, ZerosLike, Reverse)
+
+#: Commutative binops for key normalisation.
+_COMM = {"add", "mul", "min", "max", "and", "or", "eq", "ne"}
+
+
+def _key(e: Exp):
+    if isinstance(e, BinOp) and e.op in _COMM:
+        ops = sorted([repr(e.x) + str(e.x.type), repr(e.y) + str(e.y.type)])
+        return ("binop", e.op, ops[0], ops[1])
+    return e  # frozen dataclasses hash structurally
+
+
+def _cse_exp(e: Exp, table: Dict, m: Dict[str, Atom]) -> Exp:
+    e = subst_exp(e, m)
+    if isinstance(e, Map):
+        return Map(_cse_lambda(e.lam, table), e.arrs, e.accs)
+    if isinstance(e, Reduce):
+        return Reduce(_cse_lambda(e.lam, table), e.nes, e.arrs)
+    if isinstance(e, Scan):
+        return Scan(_cse_lambda(e.lam, table), e.nes, e.arrs)
+    if isinstance(e, ReduceByIndex):
+        return ReduceByIndex(e.num_bins, _cse_lambda(e.lam, table), e.nes, e.inds, e.vals)
+    if isinstance(e, Loop):
+        # Loop bodies run many times with changing params; outer table is
+        # still valid (keys reference in-scope invariant vars only).
+        return Loop(e.params, e.inits, e.ivar, e.n, _cse_body(e.body, dict(table)), e.stripmine, e.checkpoint)
+    if isinstance(e, WhileLoop):
+        return WhileLoop(e.params, e.inits, _cse_lambda(e.cond, table), _cse_body(e.body, dict(table)), e.bound)
+    if isinstance(e, If):
+        return If(e.cond, _cse_body(e.then, dict(table)), _cse_body(e.els, dict(table)))
+    if isinstance(e, WithAcc):
+        return WithAcc(e.arrs, _cse_lambda(e.lam, table))
+    return e
+
+
+def _cse_lambda(lam: Lambda, table: Dict) -> Lambda:
+    return Lambda(lam.params, _cse_body(lam.body, dict(table)))
+
+
+def _cse_body(body: Body, table: Dict) -> Body:
+    m: Dict[str, Atom] = {}
+    stms = []
+    for stm in body.stms:
+        e = _cse_exp(stm.exp, table, m)
+        if isinstance(e, _CHEAP) and len(stm.pat) == 1:
+            k = _key(e)
+            hit = table.get(k)
+            if hit is not None:
+                m[stm.pat[0].name] = hit
+                continue
+            table[k] = stm.pat[0]
+        stms.append(Stm(stm.pat, e))
+    result = tuple(m.get(a.name, a) if isinstance(a, Var) else a for a in body.result)
+    return Body(tuple(stms), result)
+
+
+def cse_body(body: Body) -> Body:
+    return _cse_body(body, {})
+
+
+def cse_fun(fun: Fun) -> Fun:
+    return Fun(fun.name, fun.params, cse_body(fun.body))

@@ -1,0 +1,114 @@
+"""Dead-code elimination.
+
+DCE is what realises the paper's §4.1 claim: the redundantly re-executed
+forward sweeps of perfectly-nested scopes bind results that nothing in the
+return sweep uses, so they are dead code and the differentiated program
+carries no re-execution overhead (Fig. 2's ``xss``/``xs``/``xs'``/``x``).
+
+Bodies are processed backwards from their result atoms.  Multi-result
+``Map``/``If`` statements with partially-dead results are *shrunk* (dead
+columns dropped), which is how the dead primal outputs of AD-generated maps
+disappear.  Accumulator updates are handled by ordinary liveness: the
+linearity discipline guarantees a live ``WithAcc`` keeps its whole update
+chain alive, and a dead ``WithAcc`` result means the updates were
+unobservable.
+"""
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from ..ir.ast import (
+    Body,
+    Exp,
+    Fun,
+    If,
+    Lambda,
+    Loop,
+    Map,
+    Reduce,
+    ReduceByIndex,
+    Scan,
+    Stm,
+    Var,
+    WhileLoop,
+    WithAcc,
+)
+from ..ir.traversal import exp_atoms
+
+__all__ = ["dce_fun", "dce_body"]
+
+
+def _exp_uses(e: Exp, live: Set[str]) -> None:
+    from ..ir.traversal import free_vars_exp
+
+    for v in free_vars_exp(e).values():
+        live.add(v.name)
+
+
+def _dce_lambda(lam: Lambda) -> Lambda:
+    return Lambda(lam.params, dce_body(lam.body))
+
+
+def _dce_exp(e: Exp) -> Exp:
+    """Recurse into nested bodies."""
+    if isinstance(e, Map):
+        return Map(_dce_lambda(e.lam), e.arrs, e.accs)
+    if isinstance(e, Reduce):
+        return Reduce(_dce_lambda(e.lam), e.nes, e.arrs)
+    if isinstance(e, Scan):
+        return Scan(_dce_lambda(e.lam), e.nes, e.arrs)
+    if isinstance(e, ReduceByIndex):
+        return ReduceByIndex(e.num_bins, _dce_lambda(e.lam), e.nes, e.inds, e.vals)
+    if isinstance(e, Loop):
+        return Loop(e.params, e.inits, e.ivar, e.n, dce_body(e.body), e.stripmine, e.checkpoint)
+    if isinstance(e, WhileLoop):
+        return WhileLoop(e.params, e.inits, _dce_lambda(e.cond), dce_body(e.body), e.bound)
+    if isinstance(e, If):
+        return If(e.cond, dce_body(e.then), dce_body(e.els))
+    if isinstance(e, WithAcc):
+        return WithAcc(e.arrs, _dce_lambda(e.lam))
+    return e
+
+
+def _shrink_map(e: Map, keep: List[bool]) -> Map:
+    """Drop dead (non-accumulator) results of a Map."""
+    n_acc = len(e.accs)
+    body = e.lam.body
+    res = list(body.result[:n_acc])
+    for r, k in zip(body.result[n_acc:], keep[n_acc:]):
+        if k:
+            res.append(r)
+    return Map(Lambda(e.lam.params, Body(body.stms, tuple(res))), e.arrs, e.accs)
+
+
+def _shrink_if(e: If, keep: List[bool]) -> If:
+    tres = tuple(r for r, k in zip(e.then.result, keep) if k)
+    fres = tuple(r for r, k in zip(e.els.result, keep) if k)
+    return If(e.cond, Body(e.then.stms, tres), Body(e.els.stms, fres))
+
+
+def dce_body(body: Body) -> Body:
+    live: Set[str] = {a.name for a in body.result if isinstance(a, Var)}
+    out: List[Stm] = []
+    for stm in reversed(body.stms):
+        keep = [v.name in live for v in stm.pat]
+        if not any(keep):
+            continue
+        e = stm.exp
+        pat = stm.pat
+        if not all(keep):
+            # Partial liveness: shrink shrinkable expressions.
+            if isinstance(e, Map) and all(keep[: len(e.accs)]):
+                e = _shrink_map(e, keep)
+                pat = tuple(v for v, k in zip(stm.pat, keep) if k)
+            elif isinstance(e, If):
+                e = _shrink_if(e, keep)
+                pat = tuple(v for v, k in zip(stm.pat, keep) if k)
+        e = _dce_exp(e)
+        _exp_uses(e, live)
+        out.append(Stm(pat, e))
+    return Body(tuple(reversed(out)), body.result)
+
+
+def dce_fun(fun: Fun) -> Fun:
+    return Fun(fun.name, fun.params, dce_body(fun.body))

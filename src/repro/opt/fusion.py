@@ -1,0 +1,166 @@
+"""Vertical map–map fusion.
+
+The paper notes its AD rules were "tuned to preserve fusion opportunities";
+this pass realises the simplest and most profitable of them: a ``map`` whose
+result arrays are consumed *only* by a single later ``map`` (over the same
+extent, no accumulators in the producer) is inlined into the consumer,
+eliminating the intermediate arrays.  Applied bottom-up and to a fixed point
+by the pipeline driver.
+"""
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..ir.ast import (
+    Body,
+    Exp,
+    Fun,
+    If,
+    Lambda,
+    Loop,
+    Map,
+    Reduce,
+    ReduceByIndex,
+    Scan,
+    Stm,
+    Var,
+    WhileLoop,
+    WithAcc,
+)
+from ..ir.traversal import free_vars_exp, refresh_body, subst
+from ..util import fresh
+
+__all__ = ["fuse_fun", "fuse_body"]
+
+
+def _uses_in_body(body: Body) -> Dict[str, int]:
+    """Total number of syntactic uses of each name in a body (recursive)."""
+    counts: Dict[str, int] = {}
+
+    def exp(e: Exp) -> None:
+        for v in free_vars_exp(e).values():
+            counts[v.name] = counts.get(v.name, 0) + 1
+
+    for stm in body.stms:
+        exp(stm.exp)
+    for a in body.result:
+        if isinstance(a, Var):
+            counts[a.name] = counts.get(a.name, 0) + 1
+    return counts
+
+
+def _try_fuse(prod_stm: Stm, cons: Map) -> Optional[Map]:
+    """Fuse producer map results that the consumer maps over."""
+    prod = prod_stm.exp
+    assert isinstance(prod, Map)
+    if prod.accs:
+        return None
+    produced = {v.name: i for i, v in enumerate(prod_stm.pat)}
+    hit = [a.name in produced for a in cons.arrs]
+    if not any(hit):
+        return None
+    # Splice: consumer params for fused arrays are bound to the producer's
+    # results; the producer's body is inlined (refreshed) at the head of the
+    # consumer lambda, driven by the producer's own arrays.
+    new_arrs: List[Var] = list(prod.arrs)
+    new_params: List[Var] = list(prod.lam.params)
+    pbody = refresh_body(
+        prod.lam.body, {}
+    )
+    # Map the producer's (refreshed) results to names.
+    mapping = {}
+    stms: List[Stm] = list(pbody.stms)
+    keep_arrs: List[Var] = []
+    keep_params: List[Var] = []
+    for a, p in zip(cons.arrs, cons.lam.params):
+        if a.name in produced:
+            mapping[p.name] = pbody.result[produced[a.name]]
+        else:
+            keep_arrs.append(a)
+            keep_params.append(p)
+    cons_body = subst(cons.lam.body, mapping)
+    new_body = Body(tuple(stms) + tuple(cons_body.stms), cons_body.result)
+    params = tuple(new_params) + tuple(keep_params) + tuple(
+        cons.lam.params[len(cons.arrs):]
+    )
+    arrs = tuple(new_arrs) + tuple(keep_arrs)
+    return Map(Lambda(params, new_body), arrs, cons.accs)
+
+
+def fuse_body(body: Body) -> Body:
+    uses = _uses_in_body(body)
+    stms = list(body.stms)
+    # Index producers: single-use map outputs.
+    changed = True
+    while changed:
+        changed = False
+        for i, stm in enumerate(stms):
+            e = stm.exp
+            if not isinstance(e, Map) or e.accs:
+                continue
+            # All results used exactly once, all by one later map statement.
+            if not all(uses.get(v.name, 0) == 1 for v in stm.pat):
+                continue
+            consumer_idx = None
+            names = {v.name for v in stm.pat}
+            for j in range(i + 1, len(stms)):
+                used = {v.name for v in free_vars_exp(stms[j].exp).values()}
+                if used & names:
+                    if consumer_idx is not None:
+                        consumer_idx = None
+                        break
+                    consumer_idx = j
+            if consumer_idx is None:
+                continue
+            ce = stms[consumer_idx].exp
+            if not isinstance(ce, Map):
+                continue
+            if not names.issuperset({a.name for a in ce.arrs} & names):
+                continue
+            # Results may only be consumed as map *arrays*, not free vars.
+            from ..ir.traversal import free_vars
+
+            lam_fvs = set(free_vars(ce.lam))
+            if lam_fvs & names:
+                continue
+            fused = _try_fuse(stm, ce)
+            if fused is None:
+                continue
+            stms[consumer_idx] = Stm(stms[consumer_idx].pat, fused)
+            del stms[i]
+            uses = _uses_in_body(Body(tuple(stms), body.result))
+            changed = True
+            break
+    # Recurse into nested bodies.
+    out: List[Stm] = []
+    for stm in stms:
+        out.append(Stm(stm.pat, _fuse_exp(stm.exp)))
+    return Body(tuple(out), body.result)
+
+
+def _fuse_lambda(lam: Lambda) -> Lambda:
+    return Lambda(lam.params, fuse_body(lam.body))
+
+
+def _fuse_exp(e: Exp) -> Exp:
+    if isinstance(e, Map):
+        return Map(_fuse_lambda(e.lam), e.arrs, e.accs)
+    if isinstance(e, Reduce):
+        return Reduce(_fuse_lambda(e.lam), e.nes, e.arrs)
+    if isinstance(e, Scan):
+        return Scan(_fuse_lambda(e.lam), e.nes, e.arrs)
+    if isinstance(e, ReduceByIndex):
+        return ReduceByIndex(e.num_bins, _fuse_lambda(e.lam), e.nes, e.inds, e.vals)
+    if isinstance(e, Loop):
+        return Loop(e.params, e.inits, e.ivar, e.n, fuse_body(e.body), e.stripmine, e.checkpoint)
+    if isinstance(e, WhileLoop):
+        return WhileLoop(e.params, e.inits, _fuse_lambda(e.cond), fuse_body(e.body), e.bound)
+    if isinstance(e, If):
+        return If(e.cond, fuse_body(e.then), fuse_body(e.els))
+    if isinstance(e, WithAcc):
+        return WithAcc(e.arrs, _fuse_lambda(e.lam))
+    return e
+
+
+def fuse_fun(fun: Fun) -> Fun:
+    return Fun(fun.name, fun.params, fuse_body(fun.body))

@@ -1,0 +1,31 @@
+"""The standard optimisation pipeline.
+
+Mirrors the paper's setup: a battery of standard simplifications runs both
+before AD (the source program is "already heavily optimized by the compiler")
+and after AD (where DCE is what eliminates the redundant forward sweeps of
+perfectly-nested scopes, §4.1).
+"""
+from __future__ import annotations
+
+from ..ir.ast import Fun
+
+__all__ = ["optimize_fun", "PIPELINE"]
+
+
+def optimize_fun(fun: Fun, rounds: int = 3) -> Fun:
+    """Run the standard pipeline to a fixed point (bounded by ``rounds``)."""
+    from .simplify import simplify_fun
+    from .cse import cse_fun
+    from .dce import dce_fun
+
+    for _ in range(rounds):
+        prev = fun
+        fun = simplify_fun(fun)
+        fun = cse_fun(fun)
+        fun = dce_fun(fun)
+        if fun == prev:
+            break
+    return fun
+
+
+PIPELINE = ("simplify", "cse", "dce")

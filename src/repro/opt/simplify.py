@@ -1,0 +1,203 @@
+"""Simplification: copy propagation, constant folding, algebraic identities.
+
+This is the paper's "simplification engine" — e.g. it is what derives the
+specialised ``as_bar += y_bar`` adjoint of a ``reduce (+)`` from the general
+two-scan rule automatically, and what cleans up the ``x + 0`` adjoint
+initialisations the reverse sweep emits.
+"""
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..ir.ast import (
+    AtomExp,
+    Atom,
+    BinOp,
+    Body,
+    Cast,
+    Const,
+    Exp,
+    Fun,
+    If,
+    Lambda,
+    Loop,
+    Map,
+    Reduce,
+    ReduceByIndex,
+    Scan,
+    Select,
+    Stm,
+    UnOp,
+    Var,
+    WhileLoop,
+    WithAcc,
+    ZerosLike,
+)
+from ..ir.traversal import refresh_body, subst_exp
+from ..ir.types import BOOL, Scalar, np_dtype, rank_of
+from ..exec.prims import apply_binop, apply_unop
+
+__all__ = ["simplify_fun", "simplify_body"]
+
+
+def _is_const(a: Atom, value=None) -> bool:
+    if not isinstance(a, Const):
+        return False
+    if value is None:
+        return True
+    try:
+        return float(a.value) == float(value)
+    except (TypeError, ValueError):
+        return False
+
+
+def _same_rank(a: Atom, b: Atom) -> bool:
+    return rank_of(a.type) == rank_of(b.type)
+
+
+class _Simplifier:
+    def __init__(self) -> None:
+        # defs tracks scalar-cheap definitions for def-chain queries
+        # (e.g. "is this operand a ZerosLike?").
+        self.defs: Dict[str, Exp] = {}
+
+    # -- algebraic rules --------------------------------------------------------
+
+    def _is_zero(self, a: Atom) -> bool:
+        if _is_const(a, 0):
+            return True
+        if isinstance(a, Var):
+            d = self.defs.get(a.name)
+            if isinstance(d, ZerosLike):
+                return True
+        return False
+
+    def _fold_binop(self, e: BinOp) -> Optional[Exp]:
+        x, y = e.x, e.y
+        if isinstance(x, Const) and isinstance(y, Const):
+            try:
+                v = apply_binop(e.op, np_dtype(x.type)(x.value), np_dtype(y.type)(y.value))
+            except Exception:
+                return None
+            if e.op in ("lt", "le", "gt", "ge", "eq", "ne", "and", "or"):
+                return AtomExp(Const(bool(v), BOOL))
+            return AtomExp(Const(v.item() if hasattr(v, "item") else v, x.type))
+        if e.op == "add":
+            if self._is_zero(x) and rank_of(y.type) >= rank_of(x.type):
+                return AtomExp(y)
+            if self._is_zero(y) and rank_of(x.type) >= rank_of(y.type):
+                return AtomExp(x)
+        elif e.op == "sub":
+            if self._is_zero(y) and rank_of(x.type) >= rank_of(y.type):
+                return AtomExp(x)
+        elif e.op == "mul":
+            if _is_const(x, 1) and rank_of(y.type) >= rank_of(x.type):
+                return AtomExp(y)
+            if _is_const(y, 1) and rank_of(x.type) >= rank_of(y.type):
+                return AtomExp(x)
+            if _is_const(x, 0) and rank_of(y.type) == 0:
+                return AtomExp(x)
+            if _is_const(y, 0) and rank_of(x.type) == 0:
+                return AtomExp(y)
+        elif e.op == "div":
+            if _is_const(y, 1):
+                return AtomExp(x)
+        elif e.op == "pow":
+            if _is_const(y, 1):
+                return AtomExp(x)
+        return None
+
+    def _fold_unop(self, e: UnOp) -> Optional[Exp]:
+        if isinstance(e.x, Const):
+            try:
+                v = apply_unop(e.op, np_dtype(e.x.type)(e.x.value))
+            except Exception:
+                return None
+            if e.op == "not":
+                return AtomExp(Const(bool(v), BOOL))
+            return AtomExp(Const(v.item() if hasattr(v, "item") else v, e.x.type))
+        if e.op == "neg" and isinstance(e.x, Var):
+            d = self.defs.get(e.x.name)
+            if isinstance(d, UnOp) and d.op == "neg":
+                return AtomExp(d.x)
+        return None
+
+    def _fold_select(self, e: Select) -> Optional[Exp]:
+        if isinstance(e.c, Const):
+            return AtomExp(e.t if e.c.value else e.f)
+        if e.t == e.f:
+            return AtomExp(e.t)
+        return None
+
+    def _fold_cast(self, e: Cast) -> Optional[Exp]:
+        if isinstance(e.x, Const):
+            v = np_dtype(e.to)(np_dtype(e.x.type)(e.x.value))
+            return AtomExp(Const(v.item() if e.to is not BOOL else bool(v), e.to))
+        if e.x.type == e.to:
+            return AtomExp(e.x)
+        return None
+
+    # -- traversal --------------------------------------------------------------
+
+    def exp(self, e: Exp, m: Dict[str, Atom]) -> Exp:
+        e = subst_exp(e, m)
+        if isinstance(e, BinOp):
+            return self._fold_binop(e) or e
+        if isinstance(e, UnOp):
+            return self._fold_unop(e) or e
+        if isinstance(e, Select):
+            return self._fold_select(e) or e
+        if isinstance(e, Cast):
+            return self._fold_cast(e) or e
+        if isinstance(e, Map):
+            return Map(self.lam(e.lam), e.arrs, e.accs)
+        if isinstance(e, Reduce):
+            return Reduce(self.lam(e.lam), e.nes, e.arrs)
+        if isinstance(e, Scan):
+            return Scan(self.lam(e.lam), e.nes, e.arrs)
+        if isinstance(e, ReduceByIndex):
+            return ReduceByIndex(e.num_bins, self.lam(e.lam), e.nes, e.inds, e.vals)
+        if isinstance(e, Loop):
+            return Loop(e.params, e.inits, e.ivar, e.n, self.body(e.body), e.stripmine, e.checkpoint)
+        if isinstance(e, WhileLoop):
+            return WhileLoop(e.params, e.inits, self.lam(e.cond), self.body(e.body), e.bound)
+        if isinstance(e, If):
+            return If(e.cond, self.body(e.then), self.body(e.els))
+        if isinstance(e, WithAcc):
+            return WithAcc(e.arrs, self.lam(e.lam))
+        return e
+
+    def lam(self, lam: Lambda) -> Lambda:
+        return Lambda(lam.params, self.body(lam.body))
+
+    def body(self, body: Body) -> Body:
+        m: Dict[str, Atom] = {}
+        stms = []
+        for stm in body.stms:
+            e = self.exp(stm.exp, m)
+            # Constant-condition ifs: splice the taken branch.
+            if isinstance(e, If) and isinstance(e.cond, Const):
+                branch = e.then if e.cond.value else e.els
+                branch = refresh_body(branch)
+                stms.extend(branch.stms)
+                for v, r in zip(stm.pat, branch.result):
+                    m[v.name] = r
+                continue
+            if isinstance(e, AtomExp) and len(stm.pat) == 1:
+                m[stm.pat[0].name] = e.x
+                continue
+            for v in stm.pat:
+                self.defs[v.name] = e
+            stms.append(Stm(stm.pat, e))
+        result = tuple(m.get(a.name, a) if isinstance(a, Var) else a for a in body.result)
+        return Body(tuple(stms), result)
+
+
+def simplify_body(body: Body) -> Body:
+    return _Simplifier().body(body)
+
+
+def simplify_fun(fun: Fun) -> Fun:
+    return Fun(fun.name, fun.params, simplify_body(fun.body))

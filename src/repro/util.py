@@ -1,0 +1,71 @@
+"""Small shared utilities: fresh-name supply and error types."""
+from __future__ import annotations
+
+import itertools
+import threading
+
+__all__ = [
+    "ReproError",
+    "IRError",
+    "TypeError_",
+    "ADError",
+    "ExecError",
+    "NameSupply",
+    "fresh",
+    "reset_names",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class IRError(ReproError):
+    """Malformed IR (construction or validation failure)."""
+
+
+class TypeError_(ReproError):
+    """IR type error (suffixed to avoid shadowing the builtin)."""
+
+
+class ADError(ReproError):
+    """A program cannot be differentiated (unsupported construct/shape)."""
+
+
+class ExecError(ReproError):
+    """Runtime failure while executing IR."""
+
+
+class NameSupply:
+    """Thread-safe supply of fresh SSA names.
+
+    Names are ``<base>_<counter>``; the counter is global so every generated
+    name in a program is unique, which the AD transforms rely on.
+    """
+
+    def __init__(self) -> None:
+        self._counter = itertools.count()
+        self._lock = threading.Lock()
+
+    def fresh(self, base: str = "t") -> str:
+        # Strip any previous numeric suffix so repeated freshening doesn't
+        # produce ever-growing names like x_1_2_3.
+        stem, _, tail = base.rpartition("_")
+        if stem and tail.isdigit():
+            base = stem
+        with self._lock:
+            return f"{base}_{next(self._counter)}"
+
+
+_GLOBAL_SUPPLY = NameSupply()
+
+
+def fresh(base: str = "t") -> str:
+    """Return a globally fresh name derived from ``base``."""
+    return _GLOBAL_SUPPLY.fresh(base)
+
+
+def reset_names() -> None:
+    """Reset the global name counter (tests only — not thread safe)."""
+    global _GLOBAL_SUPPLY
+    _GLOBAL_SUPPLY = NameSupply()

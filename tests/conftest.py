@@ -1,0 +1,6 @@
+"""Pytest configuration: make tests/helpers.py importable and keep
+hypothesis deadlines off (interpreted executors are slow but deterministic)."""
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

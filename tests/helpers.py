@@ -1,0 +1,89 @@
+"""Shared test utilities: finite differences, gradient checking, dual-backend
+execution, and jvp/vjp consistency checks."""
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+import repro as rp
+
+BACKENDS = ("ref", "vec")
+
+
+def run_both(fc, *args):
+    """Run a compiled function on both backends and assert agreement."""
+    r_ref = fc(*args, backend="ref")
+    r_vec = fc(*args, backend="vec")
+    rr = r_ref if isinstance(r_ref, tuple) else (r_ref,)
+    rv = r_vec if isinstance(r_vec, tuple) else (r_vec,)
+    for a, b in zip(rr, rv):
+        np.testing.assert_allclose(np.asarray(a), np.asarray(b), rtol=1e-10, atol=1e-10)
+    return r_ref
+
+
+def fd_grad(fc, args, k: int, eps: float = 1e-6):
+    """Central-difference gradient of a scalar-valued compiled function with
+    respect to float argument ``k``."""
+    a = np.array(args[k], dtype=float)
+    out = np.zeros_like(a)
+    it = np.nditer(a, flags=["multi_index"])
+    for _ in it:
+        idx = it.multi_index
+        ap = [np.array(x, dtype=float) if np.asarray(x).dtype.kind == "f" else x for x in args]
+        am = [np.array(x, dtype=float) if np.asarray(x).dtype.kind == "f" else x for x in args]
+        ap[k][idx] += eps
+        am[k][idx] -= eps
+        out[idx] = (fc(*ap) - fc(*am)) / (2 * eps)
+    return out
+
+
+def check_grad(f, args, tol: float = 1e-4, wrt=None, backends=BACKENDS):
+    """Trace ``f``, compute its reverse-mode gradient, and compare against
+    central differences on every float argument and both backends."""
+    fun = rp.trace_like(f, args)
+    fc = rp.compile(fun)
+    g = rp.grad(fc, wrt=wrt)
+    float_idx = [
+        i for i, a in enumerate(args)
+        if np.asarray(a).dtype.kind == "f" and (wrt is None or i in wrt)
+    ]
+    for be in backends:
+        ga = g(*args, backend=be)
+        ga = ga if isinstance(ga, tuple) else (ga,)
+        for slot, k in enumerate(float_idx):
+            fd = fd_grad(fc, args, k)
+            np.testing.assert_allclose(
+                np.asarray(ga[slot]), fd, rtol=tol, atol=tol,
+                err_msg=f"grad mismatch: backend={be} arg={k}",
+            )
+    return fc, g
+
+
+def check_jvp_vjp_consistency(f, args, seed: int = 0, tol: float = 1e-9):
+    """⟨ȳ, J·ẋ⟩ must equal ⟨Jᵀ·ȳ, ẋ⟩ for random ẋ, ȳ."""
+    rng = np.random.default_rng(seed)
+    fun = rp.trace_like(f, args)
+    fc = rp.compile(fun)
+    fwd = rp.jvp(fc)
+    rev = rp.vjp(fc)
+    n_out = len(fun.body.result)
+    tangents = [
+        rng.standard_normal(np.asarray(a).shape)
+        for a in args
+        if np.asarray(a).dtype.kind == "f"
+    ]
+    out_f = fwd(*args, *tangents)
+    out_f = out_f if isinstance(out_f, tuple) else (out_f,)
+    primals, dys = out_f[:n_out], out_f[n_out:]
+    seeds = [
+        rng.standard_normal(np.asarray(p).shape)
+        for p in primals
+        if np.asarray(p).dtype.kind == "f"
+    ]
+    out_r = rev(*args, *seeds)
+    out_r = out_r if isinstance(out_r, tuple) else (out_r,)
+    xbars = out_r[n_out:]
+    lhs = sum(float((np.asarray(s) * np.asarray(d)).sum()) for s, d in zip(seeds, dys))
+    rhs = sum(float((np.asarray(xb) * np.asarray(t)).sum()) for xb, t in zip(xbars, tangents))
+    assert abs(lhs - rhs) <= tol * max(1.0, abs(lhs), abs(rhs)), (lhs, rhs)

@@ -1,0 +1,91 @@
+"""Application-level integration tests: GMM and k-means (dense + sparse) —
+IR objective == NumPy reference == eager; our AD == manual == eager AD."""
+import numpy as np
+import pytest
+
+import repro as rp
+from repro.apps import datagen, gmm, kmeans, kmeans_sparse
+from repro.baselines import eager as eg
+
+
+@pytest.fixture(scope="module")
+def gmm_small():
+    n, d, K = 20, 4, 3
+    alphas, means, icf, x, _ = datagen.gmm_instance(n, d, K, seed=1)
+    fun = gmm.build_ir(n, d, K)
+    return (alphas, means, icf, x), rp.compile(fun)
+
+
+def test_gmm_objective_agreement(gmm_small):
+    (alphas, means, icf, x), fc = gmm_small
+    v_np = gmm.objective_np(alphas, means, icf, x)
+    assert np.allclose(fc(alphas, means, icf, x), v_np)
+    assert np.allclose(fc(alphas, means, icf, x, backend="ref"), v_np)
+    assert np.allclose(
+        gmm.objective_eager(eg.T(alphas), eg.T(means), eg.T(icf), x).data, v_np
+    )
+
+
+def test_gmm_gradient_three_ways(gmm_small):
+    (alphas, means, icf, x), fc = gmm_small
+    g = rp.grad(fc, wrt=[0, 1, 2])
+    ours = g(alphas, means, icf, x)
+    manual = gmm.grad_manual(alphas, means, icf, x)
+    egr = eg.grad(lambda a, m, i: gmm.objective_eager(a, m, i, x))(alphas, means, icf)
+    for o, m, e in zip(ours, manual, egr):
+        np.testing.assert_allclose(o, m, atol=1e-8)
+        np.testing.assert_allclose(e, m, atol=1e-8)
+
+
+def test_gmm_gradient_ref_backend(gmm_small):
+    (alphas, means, icf, x), fc = gmm_small
+    g = rp.grad(fc, wrt=[0])
+    np.testing.assert_allclose(
+        g(alphas, means, icf, x, backend="ref")[0] if isinstance(g(alphas, means, icf, x, backend="ref"), tuple) else g(alphas, means, icf, x, backend="ref"),
+        gmm.grad_manual(alphas, means, icf, x)[0],
+        atol=1e-8,
+    )
+
+
+def test_kmeans_cost_and_grad():
+    pts, ctr = datagen.kmeans_instance(3, 50, 4, seed=3)
+    fc = rp.compile(kmeans.build_ir(50, 3, 4))
+    assert np.allclose(fc(pts, ctr), kmeans.cost_np(pts, ctr))
+    assert np.allclose(kmeans.cost_eager(pts, ctr).data, kmeans.cost_np(pts, ctr))
+    g = rp.grad(fc, wrt=[1])
+    gm, hm = kmeans.grad_hess_manual(pts, ctr)
+    np.testing.assert_allclose(g(pts, ctr), gm, atol=1e-8)
+
+
+def test_kmeans_hessian_diag_jvp_of_vjp():
+    """§7.4: Hessian via nesting forward over reverse, one pass."""
+    pts, ctr = datagen.kmeans_instance(3, 40, 4, seed=4)
+    fc = rp.compile(kmeans.build_ir(40, 3, 4))
+    hd = rp.hessian_diag(fc, wrt=1)
+    _, hm = kmeans.grad_hess_manual(pts, ctr)
+    np.testing.assert_allclose(hd(pts, ctr), hm, atol=1e-6)
+
+
+def test_kmeans_newton_steps_agree():
+    pts, ctr = datagen.kmeans_instance(3, 60, 4, seed=5)
+    fc = rp.compile(kmeans.build_ir(60, 3, 4))
+    gradf = rp.grad(fc, wrt=[1])
+    hessf = rp.hessian_diag(fc, wrt=1)
+    ours = kmeans.newton_step_ir(fc, pts, ctr, gradf=gradf, hessf=hessf)
+    manual = kmeans.newton_step_manual(pts, ctr)
+    np.testing.assert_allclose(ours, manual, atol=1e-6)
+    # Newton iteration decreases the cost.
+    assert kmeans.cost_np(pts, ours) <= kmeans.cost_np(pts, ctr)
+
+
+def test_kmeans_sparse_cost_and_grad():
+    indptr, indices, values, centres = datagen.sparse_kmeans_instance(40, 12, 5, k=3, seed=4)
+    fc = rp.compile(kmeans_sparse.build_ir(40, 3, 12))
+    vn = kmeans_sparse.cost_np(indptr, indices, values, centres)
+    assert np.allclose(fc(indptr, indices, values, centres), vn)
+    assert np.allclose(kmeans_sparse.cost_eager(indptr, indices, values, centres).data, vn)
+    g = rp.grad(fc, wrt=[3])
+    gm = kmeans_sparse.grad_manual(indptr, indices, values, centres)
+    np.testing.assert_allclose(g(indptr, indices, values, centres), gm, atol=1e-8)
+    gE = eg.grad(lambda c: kmeans_sparse.cost_eager(indptr, indices, values, c))(centres)
+    np.testing.assert_allclose(gE, gm, atol=1e-8)

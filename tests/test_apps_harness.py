@@ -1,0 +1,22 @@
+"""The programmatic experiment harness must produce sane reports."""
+from repro.apps import harness
+
+
+def test_ablation_dce_report():
+    out = harness.ablation_dce()
+    assert "primal work" in out and "after DCE" in out
+    # the DCE claim itself: post-DCE multiple < pre-DCE multiple
+    import re
+
+    ratios = [float(m) for m in re.findall(r"\(([\d.]+)x\)", out)]
+    assert ratios[1] < ratios[0]
+
+
+def test_table1_gmm_report():
+    out = harness.table1_gmm(n=24, d=3, K=2)
+    assert "ours" in out and "manual" in out and "paper" in out
+
+
+def test_table3_report():
+    out = harness.table3(k=2, n=200, d=4)
+    assert "Newton step" in out and "jvp∘vjp" in out

@@ -1,0 +1,117 @@
+"""Application-level integration tests: LSTM, BA, HAND."""
+import numpy as np
+import pytest
+
+import repro as rp
+from repro.apps import ba, datagen, hand, lstm
+from repro.baselines import eager as eg
+
+
+def test_lstm_loss_and_grads():
+    xs, wx, wh, b, wy, h0, c0, tg = datagen.lstm_instance(3, 4, 5, 6, seed=5)
+    n, bs, d = xs.shape
+    h = wh.shape[1]
+    fc = rp.compile(lstm.build_ir(n, bs, d, h))
+    vn = lstm.loss_np(xs, wx, wh, b, wy, tg)
+    assert np.allclose(fc(xs, wx, wh, b, wy, tg), vn)
+    assert np.allclose(lstm.loss_eager(xs, wx, wh, b, wy, tg).data, vn)
+    g = rp.grad(fc, wrt=[1, 2, 3, 4])
+    ours = g(xs, wx, wh, b, wy, tg)
+    manual = lstm.grad_manual(xs, wx, wh, b, wy, tg)
+    for o, m in zip(ours, manual):
+        np.testing.assert_allclose(o, m, atol=1e-7)
+    egr = eg.grad(lambda a, b_, c_, d_: lstm.loss_eager(xs, a, b_, c_, d_, tg))(wx, wh, b, wy)
+    for e, m in zip(egr, manual):
+        np.testing.assert_allclose(e, m, atol=1e-7)
+
+
+def test_lstm_training_decreases_loss():
+    xs, wx, wh, b, wy, h0, c0, tg = datagen.lstm_instance(2, 3, 4, 5, seed=6)
+    fc = rp.compile(lstm.build_ir(2, 3, 4, 5))
+    g = rp.grad(fc, wrt=[1, 2, 3, 4])
+    l0 = fc(xs, wx, wh, b, wy, tg)
+    lr = 1e-3
+    for _ in range(3):
+        gw = g(xs, wx, wh, b, wy, tg)
+        wx, wh, b, wy = (p - lr * d for p, d in zip((wx, wh, b, wy), gw))
+    assert fc(xs, wx, wh, b, wy, tg) < l0
+
+
+def test_ba_residuals_and_jacobian():
+    cams, pts, ws, oc, op, feats = datagen.ba_instance(4, 10, 20, seed=6)
+    gc, gp, gw = ba.gather_obs(cams, pts, ws, oc, op)
+    fc = rp.compile(ba.build_ir(20))
+    rn = ba.residuals_np(gc, gp, gw, feats)
+    for a, b in zip(fc(gc, gp, gw, feats), rn):
+        np.testing.assert_allclose(a, b, atol=1e-10)
+    re = ba.residuals_eager(gc, gp, gw, feats)
+    for a, b in zip(re, rn):
+        np.testing.assert_allclose(a.data, b, atol=1e-10)
+    # Sparse Jacobian via 2 seeded vjp passes == hand-enumerated Jacobian.
+    jv = rp.vjp(fc, wrt=[0, 1, 2])
+    Jm = ba.jacobian_manual(gc, gp, gw, feats)
+    for comp in range(3):
+        seeds = [np.zeros(20), np.zeros(20), np.zeros(20)]
+        seeds[comp] = np.ones(20)
+        out = jv(gc, gp, gw, feats, *seeds)
+        Jrow = np.concatenate([out[3], out[4], out[5][:, None]], axis=1)
+        np.testing.assert_allclose(Jrow, Jm[:, comp, :], rtol=2e-4, atol=1e-5)
+
+
+def test_hand_objective_and_grad():
+    theta, base, wghts, tgts = datagen.hand_instance(4, 12, seed=7)
+    fc = rp.compile(hand.build_ir(4, 12))
+    vn = hand.objective_np(theta, base, wghts, tgts)
+    assert np.allclose(fc(theta, base, wghts, tgts), vn)
+    assert np.allclose(hand.objective_eager(theta, base, wghts, tgts).data, vn)
+    g = rp.grad(fc, wrt=[0])
+    ga = g(theta, base, wghts, tgts)
+    eps = 1e-6
+    fd = np.array(
+        [
+            (
+                fc(theta + eps * np.eye(len(theta))[i], base, wghts, tgts)
+                - fc(theta - eps * np.eye(len(theta))[i], base, wghts, tgts)
+            )
+            / (2 * eps)
+            for i in range(len(theta))
+        ]
+    )
+    np.testing.assert_allclose(ga, fd, atol=1e-4)
+
+
+def test_hand_jacobian_fwd_mode():
+    theta, base, wghts, tgts = datagen.hand_instance(3, 8, seed=8)
+    fc = rp.compile(hand.build_ir(3, 8))
+    fwd = rp.jvp(fc)
+    Jm = hand.jacobian_manual(theta, base, wghts, tgts)
+    # each jvp pass = one column of the (scalar-objective) J; here just one
+    # direction since the objective is scalar: dL = J_theta · e_j
+    for j in range(len(theta)):
+        e = np.zeros(len(theta))
+        e[j] = 1.0
+        out = fwd(theta, base, wghts, tgts, e, np.zeros_like(base), np.zeros_like(wghts), np.zeros_like(tgts))
+        dL = out[-1]
+        # chain: dL = 2 rᵀ J e_j
+        r = (hand._positions_np(theta, base, wghts) - tgts).reshape(-1)
+        np.testing.assert_allclose(dL, 2 * r @ Jm[:, j], rtol=1e-5, atol=1e-6)
+
+
+def test_hand_complicated_residuals_and_jacobian_blocks():
+    """Table 1's HAND Comp. variant: dense pose block + sparse (block-
+    diagonal) correspondence block, via seeded reverse passes."""
+    import numpy as np
+    theta, u, base, wghts, cands = hand.complicated_instance(4, 10, seed=3)
+    fc = rp.compile(hand.build_ir_complicated(4, 10))
+    for a, b in zip(fc(theta, u, base, wghts, cands),
+                    hand.residuals_complicated_np(theta, u, base, wghts, cands)):
+        np.testing.assert_allclose(a, b, atol=1e-12)
+    jv = rp.vjp(fc, wrt=[0, 1])
+    for c in range(3):
+        seeds = [np.zeros(10)] * 3
+        seeds = [s.copy() for s in seeds]
+        seeds[c] = np.ones(10)
+        out = jv(theta, u, base, wghts, cands, *seeds)
+        du = out[4]
+        # sparse block is exactly -cands[:, :, c] (block-diagonal in v)
+        np.testing.assert_allclose(du, -cands[:, :, c], atol=1e-12)

@@ -1,0 +1,154 @@
+"""Edge cases across the stack: empty arrays, singleton extents, degenerate
+seeds, masked divergence, dtype preservation, deep nesting."""
+import numpy as np
+import pytest
+
+import repro as rp
+from helpers import check_grad, run_both
+
+
+def test_singleton_map_and_reduce():
+    f = rp.compile(rp.trace_like(lambda xs: rp.sum(rp.map(lambda x: x * 3.0, xs)), (np.ones(1),)))
+    assert f(np.array([2.0])) == 6.0
+    g = rp.grad(f)
+    np.testing.assert_allclose(g(np.array([2.0])), [3.0])
+
+
+def test_zero_seed_gives_zero_gradient():
+    f = rp.compile(rp.trace_like(lambda xs: rp.sum(rp.map(lambda x: rp.exp(x), xs)), (np.ones(3),)))
+    rev = rp.vjp(f)
+    out = rev(np.ones(3), 0.0)
+    np.testing.assert_allclose(out[1], np.zeros(3))
+
+
+def test_grad_of_constant_output():
+    f = rp.compile(rp.trace_like(lambda x: x * 0.0 + 1.0, (1.0,)))
+    assert rp.grad(f)(5.0) == 0.0
+
+
+def test_unused_parameter_zero_adjoint():
+    f = rp.compile(rp.trace_like(lambda x, y: x * x, (1.0, 1.0)))
+    gx, gy = rp.grad(f)(3.0, 7.0)
+    assert gx == 6.0 and gy == 0.0
+
+
+def test_deeply_nested_maps():
+    def f(t):  # rank-3 sum-of-cubes
+        return rp.sum(
+            rp.map(
+                lambda m: rp.sum(rp.map(lambda r: rp.sum(rp.map(lambda x: x**3.0, r)), m)),
+                t,
+            )
+        )
+
+    t = np.random.default_rng(0).standard_normal((2, 3, 4))
+    check_grad(f, (t,), tol=1e-3)
+
+
+def test_scalar_result_dtype_preserved_f32():
+    f = rp.compile(rp.trace_like(lambda x: x * x, (np.float32(2.0),)))
+    out = f(np.float32(3.0))
+    assert out.dtype == np.float32
+
+
+def test_bool_array_ops_both_backends():
+    def f(xs):
+        flags = rp.map(lambda x: (x > 0.0) & (x < 1.0), xs)
+        return rp.sum(rp.map(lambda b: rp.where(b, 1.0, 0.0), flags))
+
+    fc = rp.compile(rp.trace_like(f, (np.ones(3),)))
+    out = run_both(fc, np.array([-1.0, 0.5, 2.0, 0.9]))
+    assert out == 2.0
+
+
+def test_update_row_of_matrix():
+    def f(m, row):
+        m2 = rp.update(m, 1, row)
+        return rp.sum(rp.map(lambda r: rp.sum(r), m2))
+
+    m = np.ones((3, 2))
+    row = np.array([5.0, 6.0])
+    fc = rp.compile(rp.trace_like(f, (m, row)))
+    assert fc(m, row) == 2 + 11 + 2
+    check_grad(f, (m, row))
+
+
+def test_nested_loop_in_loop():
+    def f(x):
+        def outer(i, a):
+            return rp.fori_loop(3, lambda j, b: b * x + 0.01, a)
+
+        return rp.fori_loop(3, outer, 1.0)
+
+    check_grad(f, (np.array(0.9),))
+
+
+def test_while_loop_zero_iterations_grad():
+    def f(x):
+        v = rp.while_loop(lambda v: v < 0.0, lambda v: v * 2.0, x, bound=4)
+        return v * v
+
+    fc, g = check_grad(f, (np.array(3.0),))
+    assert g(np.array(3.0)) == 6.0
+
+
+def test_masked_log_in_untaken_branch():
+    # log of negative values in inactive lanes must not poison results.
+    def f(xs):
+        return rp.sum(rp.map(lambda x: rp.cond(x > 0.0, lambda: rp.log(x), lambda: x), xs))
+
+    fc = rp.compile(rp.trace_like(f, (np.ones(3),)))
+    xs = np.array([2.0, -3.0, 0.5])
+    out = run_both(fc, xs)
+    assert np.isfinite(out)
+    check_grad(f, (xs,))
+
+
+def test_scatter_empty_indices():
+    def f(xs, inds, vals):
+        return rp.sum(rp.scatter(xs, inds, vals))
+
+    fc = rp.compile(rp.trace_like(f, (np.ones(4), np.zeros(0, dtype=np.int64), np.zeros(0))))
+    assert fc(np.ones(4), np.zeros(0, dtype=np.int64), np.zeros(0)) == 4.0
+
+
+def test_hist_empty_input():
+    def f(inds, vals):
+        return rp.sum(rp.reduce_by_index(3, lambda a, b: a + b, 0.0, inds, vals))
+
+    fc = rp.compile(rp.trace_like(f, (np.zeros(0, dtype=np.int64), np.zeros(0))))
+    assert fc(np.zeros(0, dtype=np.int64), np.zeros(0)) == 0.0
+
+
+def test_reduce_min_on_all_equal():
+    xs = np.full(5, 2.0)
+    f = rp.compile(rp.trace_like(lambda v: rp.min(v), (xs,)))
+    g = rp.grad(f)(xs)
+    assert g.sum() == 1.0  # exactly one winner even with ties
+
+
+def test_pow_gradient_at_integer_exponent():
+    check_grad(lambda x: x**3.0, (np.array(1.7),))
+
+
+def test_negative_modulo_floor_semantics():
+    f = rp.compile(rp.trace_like(lambda n: n % 4, (np.int64(-3),)))
+    assert f(np.int64(-3)) == 1  # floor-mod, numpy semantics
+
+
+def test_gather_grad_duplicated_indices():
+    def f(tbl, inds):
+        return rp.sum(rp.gather(tbl, inds))
+
+    tbl = np.arange(3.0)
+    inds = np.array([1, 1, 1, 0])
+    fc = rp.compile(rp.trace_like(f, (tbl, inds)))
+    g = rp.grad(fc, wrt=[0])(tbl, inds)
+    np.testing.assert_allclose(g, [1.0, 3.0, 0.0])  # contributions accumulate
+
+
+def test_second_order_nonuniform_hessian():
+    # H of sum(exp(x)) is diag(exp(x)); hessian_diag must see it.
+    f = rp.compile(rp.trace_like(lambda xs: rp.sum(rp.map(lambda x: rp.exp(x), xs)), (np.ones(3),)))
+    x = np.array([0.1, -0.5, 1.2])
+    np.testing.assert_allclose(rp.hessian_diag(f)(x), np.exp(x), rtol=1e-10)

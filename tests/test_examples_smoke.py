@@ -1,0 +1,29 @@
+"""The shipped examples must run end-to-end (smoke tests, small timeouts)."""
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = [
+    "quickstart.py",
+    "kmeans_newton.py",
+    "gmm_fit.py",
+    "lstm_tagger.py",
+    "monte_carlo_xs.py",
+]
+
+ROOT = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, os.path.join(ROOT, script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip()
+    assert "nan" not in proc.stdout.lower()

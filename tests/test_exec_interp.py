@@ -1,0 +1,159 @@
+"""Reference-interpreter semantics, construct by construct."""
+import numpy as np
+import pytest
+
+import repro as rp
+from repro.exec import run_fun
+from repro.util import ExecError
+
+
+def _run(f, args, **kw):
+    fun = rp.trace_like(f, args)
+    fc = rp.compile(fun, **kw)
+    return fc(*args, backend="ref")
+
+
+def test_scalar_ops():
+    out = _run(lambda x, y: (x + y, x - y, x * y, x / y, x % y, x**2.0), (7.0, 2.0))
+    np.testing.assert_allclose(out, (9.0, 5.0, 14.0, 3.5, 1.0, 49.0))
+
+
+def test_integer_division_floors():
+    assert _run(lambda n: n / 2, (np.int64(7),)) == 3
+    assert _run(lambda n: n % 3, (np.int64(7),)) == 1
+
+
+def test_comparisons_and_select():
+    assert _run(lambda x: rp.where(x > 0.0, x, -x), (-4.0,)) == 4.0
+    assert bool(_run(lambda x: (x > 1.0) | (x < -1.0), (0.5,))) is False
+
+
+def test_unops():
+    x = 0.37
+    out = _run(
+        lambda v: (rp.sin(v), rp.cos(v), rp.exp(v), rp.log(v), rp.sqrt(v), rp.tanh(v)),
+        (x,),
+    )
+    np.testing.assert_allclose(
+        out, (np.sin(x), np.cos(x), np.exp(x), np.log(x), np.sqrt(x), np.tanh(x))
+    )
+
+
+def test_sigmoid_erf():
+    out = _run(lambda v: (rp.sigmoid(v), rp.erf(v)), (0.3,))
+    from scipy.special import erf as sperf
+
+    np.testing.assert_allclose(out, (1 / (1 + np.exp(-0.3)), sperf(0.3)), rtol=1e-12)
+
+
+def test_map_multi_result():
+    xs = np.arange(4.0)
+    a, b = _run(lambda v: rp.map(lambda x: (x + 1.0, x * 2.0), v), (xs,))
+    np.testing.assert_allclose(a, xs + 1)
+    np.testing.assert_allclose(b, xs * 2)
+
+
+def test_map_variadic():
+    xs, ys = np.arange(3.0), np.ones(3)
+    out = _run(lambda a, b: rp.map(lambda x, y: x * y + 1.0, a, b), (xs, ys))
+    np.testing.assert_allclose(out, xs + 1)
+
+
+def test_map_length_mismatch():
+    with pytest.raises(ExecError):
+        _run(lambda a, b: rp.map(lambda x, y: x + y, a, b), (np.ones(3), np.ones(4)))
+
+
+def test_reduce_and_scan():
+    xs = np.arange(1.0, 6.0)
+    assert _run(lambda v: rp.sum(v), (xs,)) == 15.0
+    assert _run(lambda v: rp.prod(v), (xs,)) == 120.0
+    out = _run(lambda v: rp.scan(lambda a, b: a + b, 0.0, v), (xs,))
+    np.testing.assert_allclose(out, np.cumsum(xs))
+
+
+def test_tuple_reduce_argmin():
+    xs = np.array([3.0, 1.0, 2.0, 1.0])
+    def f(v):
+        n = rp.size(v)
+        def op(v1, i1, v2, i2):
+            take1 = (v1 < v2) | ((v1 == v2) & (i1 <= i2))
+            return rp.where(take1, v1, v2), rp.where(take1, i1, i2)
+        return rp.reduce(op, (np.inf, 2**62), v, rp.iota(n))
+    val, idx = _run(f, (xs,))
+    assert val == 1.0 and idx == 1  # ties take the first index
+
+
+def test_reduce_by_index_semantics():
+    inds = np.array([0, 1, 0, 5, -1, 1])  # out-of-range ignored
+    vals = np.arange(6.0)
+    out = _run(
+        lambda i, v: rp.reduce_by_index(3, lambda a, b: a + b, 0.0, i, v),
+        (inds, vals),
+    )
+    np.testing.assert_allclose(out, [2.0, 6.0, 0.0])
+
+
+def test_scatter_out_of_range_ignored():
+    out = _run(
+        lambda d, i, v: rp.scatter(d, i, v),
+        (np.zeros(4), np.array([1, 9, -2]), np.array([5.0, 6.0, 7.0])),
+    )
+    np.testing.assert_allclose(out, [0.0, 5.0, 0.0, 0.0])
+
+
+def test_update_functional():
+    def f(xs):
+        ys = rp.update(xs, 1, 42.0)
+        return ys, xs  # xs unchanged (copy-on-write)
+
+    ys, xs = _run(f, (np.zeros(3),))
+    np.testing.assert_allclose(ys, [0, 42, 0])
+    np.testing.assert_allclose(xs, [0, 0, 0])
+
+
+def test_loop_and_while():
+    assert _run(lambda x: rp.fori_loop(5, lambda i, a: a * x, 1.0), (2.0,)) == 32.0
+    def wl(x):
+        return rp.while_loop(lambda v: v < 100.0, lambda v: v * 3.0, x)
+    assert _run(wl, (2.0,)) == 162.0
+
+
+def test_iota_replicate_reverse_concat_size():
+    def f(xs):
+        n = rp.size(xs)
+        return (
+            rp.iota(n),
+            rp.replicate(3, xs[0]),
+            rp.reverse(xs),
+            rp.concat(xs, xs),
+            n,
+        )
+    i, r, v, c, n = _run(f, (np.array([1.0, 2.0]),))
+    np.testing.assert_allclose(i, [0, 1])
+    np.testing.assert_allclose(r, [1.0, 1.0, 1.0])
+    np.testing.assert_allclose(v, [2.0, 1.0])
+    np.testing.assert_allclose(c, [1.0, 2.0, 1.0, 2.0])
+    assert n == 2
+
+
+def test_gather():
+    out = _run(
+        lambda a, i: rp.gather(a, i), (np.array([10.0, 20.0, 30.0]), np.array([2, 0]))
+    )
+    np.testing.assert_allclose(out, [30.0, 10.0])
+
+
+def test_empty_map_and_reduce():
+    out = _run(lambda xs: (rp.map(lambda x: x * 2.0, xs), rp.sum(xs)), (np.zeros(0),))
+    assert out[0].shape == (0,)
+    assert out[1] == 0.0
+
+
+def test_matmul_transpose_sugar():
+    A = np.arange(6.0).reshape(2, 3)
+    B = np.arange(12.0).reshape(3, 4)
+    out = _run(lambda a, b: rp.matmul(a, b), (A, B))
+    np.testing.assert_allclose(out, A @ B)
+    out = _run(lambda a: rp.transpose(a), (A,))
+    np.testing.assert_allclose(out, A.T)

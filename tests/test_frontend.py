@@ -1,0 +1,87 @@
+"""Tracer / public-API tests."""
+import numpy as np
+import pytest
+
+import repro as rp
+from repro.util import IRError
+
+
+def test_trace_like_infers_types():
+    fun = rp.trace_like(lambda x, xs, n: x, (1.0, np.ones((2, 3)), np.int64(4)))
+    assert str(fun.params[0].type) == "f64"
+    assert str(fun.params[1].type) == "[][]f64"
+    assert str(fun.params[2].type) == "i64"
+
+
+def test_python_literals_adapt_to_f32():
+    fun = rp.trace_like(lambda x: x * 2 + 1.5, (np.float32(1.0),))
+    fc = rp.compile(fun)
+    out = fc(np.float32(2.0))
+    assert out.dtype == np.float32 and out == np.float32(5.5)
+
+
+def test_reverse_operators():
+    fc = rp.compile(rp.trace_like(lambda x: 3.0 - x, (1.0,)))
+    assert fc(1.0) == 2.0
+    fc = rp.compile(rp.trace_like(lambda x: 2.0 / x, (4.0,)))
+    assert fc(4.0) == 0.5
+
+
+def test_tracer_guards():
+    with pytest.raises(IRError):
+        rp.trace_like(lambda x: float(x), (1.0,))
+    with pytest.raises(IRError):
+        rp.trace_like(lambda x: 1.0 if x > 0 else 0.0, (1.0,))
+    with pytest.raises(IRError):
+        rp.trace_like(lambda xs: [v for v in xs], (np.ones(3),))
+
+
+def test_indexing_forms():
+    def f(m, i):
+        return m[0, 1] + m[i, i] + rp.sum(m[0])
+
+    fc = rp.compile(rp.trace_like(f, (np.ones((2, 2)), np.int64(1))))
+    m = np.arange(4.0).reshape(2, 2)
+    assert fc(m, 1) == m[0, 1] + m[1, 1] + m[0].sum()
+
+
+def test_loop_state_type_mismatch_rejected():
+    with pytest.raises(IRError):
+        rp.trace_like(lambda x: rp.fori_loop(3, lambda i, a: rp.astype(a, rp.I64), x), (1.0,))
+
+
+def test_cond_arity_mismatch_rejected():
+    with pytest.raises(IRError):
+        rp.trace_like(
+            lambda x: rp.cond(x > 0.0, lambda: (x, x), lambda: x), (1.0,)
+        )
+
+
+def test_operations_outside_trace_rejected():
+    with pytest.raises(IRError):
+        rp.iota(5)
+
+
+def test_compiled_show_and_cost():
+    fc = rp.compile(rp.trace_like(lambda x: x * x, (1.0,)))
+    assert "fun" in fc.show()
+    c = fc.cost(3.0)
+    assert c.work >= 1
+
+
+def test_unknown_backend_rejected():
+    fc = rp.compile(rp.trace_like(lambda x: x, (1.0,)))
+    from repro.util import ReproError
+
+    with pytest.raises(ReproError):
+        fc(1.0, backend="gpu")
+
+
+def test_multi_output_tuple():
+    fc = rp.compile(rp.trace_like(lambda x: (x, x * 2.0, x * 3.0), (1.0,)))
+    assert fc(2.0) == (2.0, 4.0, 6.0)
+
+
+def test_numpy_scalar_left_operand():
+    fc = rp.compile(rp.trace_like(lambda x: np.float64(2.0) * x, (1.0,)))
+    assert fc(3.0) == 6.0

@@ -1,0 +1,81 @@
+"""Free variables, substitution, refreshing."""
+import numpy as np
+
+import repro as rp
+from repro.ir import (
+    Builder,
+    F64,
+    Fun,
+    Lambda,
+    Var,
+    array,
+    check_fun,
+    const,
+    free_vars,
+    refresh_body,
+    refresh_lambda,
+    subst,
+)
+from repro.ir.ast import Body, Stm, BinOp
+from repro.ir.traversal import all_bound_vars, count_stms
+from repro.exec import run_fun
+
+
+def _map_with_free_var():
+    """map (\\x -> x * w) xs — w free in the lambda."""
+    b = Builder()
+    xs = Var("xs", array(F64, 1))
+    w = Var("w", F64)
+    x = Var("x", F64)
+    lb = Builder()
+    y = lb.mul(x, w, "y")
+    lam = Lambda((x,), lb.finish([y]))
+    (out,) = b.map(lam, [xs], names=["out"])
+    return Fun("f", (xs, w), b.finish([out])), lam
+
+
+def test_free_vars_of_lambda():
+    fun, lam = _map_with_free_var()
+    fvs = free_vars(lam)
+    assert list(fvs) == ["w"]
+
+
+def test_free_vars_of_fun_empty():
+    fun, _ = _map_with_free_var()
+    assert free_vars(fun) == {}
+
+
+def test_subst_respects_shadowing():
+    # Substituting the lambda's bound name must not touch its body.
+    fun, lam = _map_with_free_var()
+    w2 = Var("w2", F64)
+    lam2 = subst(lam, {"w": w2})
+    assert "w2" in free_vars(lam2)
+    lam3 = subst(lam, {"x": w2})  # x is bound; no effect
+    assert lam3 == lam
+
+
+def test_refresh_preserves_semantics():
+    fun, _ = _map_with_free_var()
+    body2 = refresh_body(fun.body)
+    fun2 = Fun("f2", fun.params, body2)
+    check_fun(fun2)
+    xs = np.arange(4.0)
+    r1 = run_fun(fun, [xs, 3.0])
+    r2 = run_fun(fun2, [xs, 3.0])
+    np.testing.assert_allclose(r1[0], r2[0])
+
+
+def test_refresh_renames_binders():
+    fun, _ = _map_with_free_var()
+    before = set(all_bound_vars(fun))
+    body2 = refresh_body(fun.body)
+    after = set(all_bound_vars(Fun("f2", fun.params, body2))) - {p.name for p in fun.params}
+    # No stale binder names survive (params excluded).
+    stale = (before - {p.name for p in fun.params}) & after
+    assert not stale
+
+
+def test_count_stms():
+    fun, _ = _map_with_free_var()
+    assert count_stms(fun) == 2  # the map + the lambda's mul

@@ -1,0 +1,52 @@
+"""Unit tests for the type universe."""
+import numpy as np
+import pytest
+
+from repro.ir import types as T
+
+
+def test_scalar_identities():
+    assert T.F64 is T.Scalar.F64
+    assert str(T.F32) == "f32"
+    assert repr(T.ArrayType(T.F64, 2)) == "[][]f64"
+    assert repr(T.AccType(T.F32, 1)) == "acc([]f32)"
+
+
+def test_array_rank_positive():
+    with pytest.raises(ValueError):
+        T.ArrayType(T.F64, 0)
+
+
+def test_is_float():
+    assert T.is_float(T.F32) and T.is_float(T.F64)
+    assert not T.is_float(T.I64) and not T.is_float(T.BOOL)
+    assert T.is_float(T.ArrayType(T.F32, 3))
+    assert not T.is_float(T.ArrayType(T.I32, 1))
+    assert T.is_float(T.AccType(T.F64, 1))
+
+
+def test_is_integral():
+    assert T.is_integral(T.I32) and T.is_integral(T.I64)
+    assert not T.is_integral(T.F64)
+    assert T.is_integral(T.ArrayType(T.I64, 2))
+
+
+def test_elem_and_rank():
+    a = T.ArrayType(T.F64, 3)
+    assert T.elem_type(a) is T.F64
+    assert T.rank_of(a) == 3
+    assert T.rank_of(T.F64) == 0
+    assert T.with_rank(T.F64, 0) is T.F64
+    assert T.with_rank(T.F64, 2) == a.__class__(T.F64, 2)
+
+
+def test_np_dtype_roundtrip():
+    for s in (T.F32, T.F64, T.I32, T.I64, T.BOOL):
+        assert T.from_np_dtype(T.np_dtype(s)) is s
+
+
+def test_from_np_dtype_widening():
+    assert T.from_np_dtype(np.dtype(np.int16)) is T.I64
+    assert T.from_np_dtype(np.dtype(np.float16)) is T.F64
+    with pytest.raises(ValueError):
+        T.from_np_dtype(np.dtype("complex128"))

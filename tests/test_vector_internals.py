@@ -1,0 +1,48 @@
+"""Unit tests for the vectorised interpreter's batching machinery."""
+import numpy as np
+import pytest
+
+from repro.exec.vector import BV, _align, _expand, _grids, _neutral_of
+from repro.util import ExecError
+
+
+def test_expand_inserts_singleton_axes():
+    v = BV(np.ones((3, 4)), 1)  # one batch axis (3), payload (4,)
+    d = _expand(v, 3)
+    assert d.shape == (3, 1, 1, 4)
+
+
+def test_expand_rejects_lowering():
+    v = BV(np.ones((3, 4)), 2)
+    with pytest.raises(ExecError):
+        _expand(v, 1)
+
+
+def test_align_batches_and_payloads():
+    a = BV(np.ones((3,)), 1)          # batched scalar
+    b = BV(np.ones((5,)), 0)          # unbatched vector payload
+    datas, k, p = _align([a, b])
+    assert k == 1 and p == 1
+    assert datas[0].shape == (3, 1)
+    assert datas[1].shape == (1, 5)
+    # The result broadcasts to (3, 5):
+    assert (datas[0] + datas[1]).shape == (3, 5)
+
+
+def test_grids_shapes():
+    gs = _grids((2, 3))
+    assert gs[0].shape == (2, 1) and gs[1].shape == (1, 3)
+    gs = _grids((2,), extra=1)
+    assert gs[0].shape == (2, 1)
+
+
+def test_neutral_of_dtypes():
+    assert _neutral_of("add", np.dtype(np.float64)) == 0.0
+    assert _neutral_of("mul", np.dtype(np.float64)) == 1.0
+    assert _neutral_of("min", np.dtype(np.float64)) == np.inf
+    assert _neutral_of("max", np.dtype(np.int64)) == np.iinfo(np.int64).min
+
+
+def test_bv_payload_introspection():
+    v = BV(np.zeros((2, 3, 4)), 1)
+    assert v.prank == 2 and v.pshape() == (3, 4)
