@@ -24,6 +24,7 @@ from common import (
     gmm_setup,
     hand_setup,
     lstm_setup,
+    on_bench_backend,
     timeit,
     write_table,
 )
@@ -228,7 +229,12 @@ def _handc_setup():
     fc = rp.compile(build_ir_complicated(HAND_B, HAND_V))
     fwd = rp.jvp(fc)
     jv = rp.vjp(fc, wrt=[0, 1])
-    return (theta, u, base, wghts, cands), fc, fwd, jv
+    return (
+        (theta, u, base, wghts, cands),
+        on_bench_backend(fc),
+        on_bench_backend(fwd),
+        on_bench_backend(jv),
+    )
 
 
 def _handc_jac_ours(fwd, jv, theta, u, base, wghts, cands):

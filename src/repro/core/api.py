@@ -10,6 +10,16 @@ These mirror the paper's ``jvp``/``vjp`` language constructs (§2.0.1/2.0.2):
   from the input/output dimensions;
 * ``hessian_diag`` nests forward over reverse (the §7.4 k-means trick —
   sparsity exploited by choosing seed vectors).
+
+Batched seeds
+-------------
+
+On the bulk backends (``vec`` and ``plan``) ``jacobian`` evaluates *all*
+basis seeds in a single pass: the n (fwd) or m (rev) seed vectors are
+stacked on a leading batch axis and the derivative function runs once with
+that axis treated as one more parallel level — instead of n/m separate
+interpreter invocations.  Pass ``batched=False`` to force the per-seed loop
+(the only strategy available on the ``ref`` backend).
 """
 from __future__ import annotations
 
@@ -17,7 +27,7 @@ from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
 
-from ..frontend.function import Compiled, compile_fun
+from ..frontend.function import BATCHED_BACKENDS, Compiled, compile_fun
 from ..ir.ast import Fun
 from ..ir.types import is_float, rank_of
 from ..opt.pipeline import optimize_fun
@@ -45,6 +55,11 @@ def _pre_ad(fun: Fun) -> Fun:
     fun = while_bound_fun(fun)
     fun = stripmine_fun(fun)
     return optimize_fun(fun)
+
+
+def _as_tuple(res) -> tuple:
+    """Normalise a ``Compiled`` call result (which unwraps singletons)."""
+    return res if isinstance(res, tuple) else (res,)
 
 
 class ADFunction(Compiled):
@@ -94,8 +109,7 @@ def grad(f: FunLike, optimize: bool = True, wrt=None) -> Callable:
     g = vjp(f, optimize=optimize, wrt=wrt)
 
     def run(*args, backend: str = "vec"):
-        res = g(*args, 1.0, backend=backend)
-        res = res if isinstance(res, tuple) else (res,)
+        res = _as_tuple(g(*args, 1.0, backend=backend))
         adjs = res[1:]
         return adjs[0] if len(adjs) == 1 else adjs
 
@@ -112,7 +126,9 @@ def value_and_grad(f: FunLike, optimize: bool = True, wrt=None) -> Callable:
     g = vjp(f, optimize=optimize, wrt=wrt)
 
     def run(*args, backend: str = "vec"):
-        res = g(*args, 1.0, backend=backend)
+        # Normalise exactly as ``grad`` does: ``Compiled`` unwraps singleton
+        # results, so ``res`` may be a bare value rather than a tuple.
+        res = _as_tuple(g(*args, 1.0, backend=backend))
         adjs = res[1:]
         return res[0], (adjs[0] if len(adjs) == 1 else adjs)
 
@@ -126,36 +142,61 @@ def jacobian(f: FunLike, mode: Optional[str] = None) -> Callable:
     ``mode`` is "fwd" (map ``jvp`` over input basis vectors), "rev" (map
     ``vjp`` over output basis vectors), or None to choose by dimensions at
     call time — the §2 cost argument.
+
+    The returned callable accepts ``backend`` and ``batched`` keywords.  On
+    the bulk backends (``vec``/``plan``) all basis seeds are evaluated in one
+    batched pass by default; ``batched=False`` forces the per-seed loop,
+    which is also the fallback on ``ref``.
     """
     fun = _fun_of(f)
     if len(fun.params) != 1 or len(fun.body.result) != 1:
         raise ADError("jacobian: use vjp/jvp directly for multi-arg functions")
+    primal = compile_fun(fun)  # compiled once, outside the hot path
     fwd = jvp(f)
     rev = vjp(f)
 
-    def run(x, backend: str = "vec"):
+    def run(x, backend: str = "vec", batched: Optional[bool] = None):
         x = np.asarray(x, dtype=np.float64)
-        y = np.asarray(compile_fun(fun)(x, backend=backend))
+        y = np.asarray(primal(x, backend=backend))
         n, m = x.size, y.size
         use = mode or ("fwd" if n <= m else "rev")
+        use_batched = (
+            batched if batched is not None else backend in BATCHED_BACKENDS
+        )
+        if use_batched and backend not in BATCHED_BACKENDS:
+            raise ADError(
+                f"jacobian: batched seeds are not supported on backend "
+                f"{backend!r}; choose from {BATCHED_BACKENDS} or pass "
+                f"batched=False"
+            )
         if use == "fwd":
+            if use_batched:
+                seeds = np.eye(n, dtype=np.float64).reshape((n,) + x.shape)
+                out = fwd.call_batched((x, seeds), (False, True), n, backend=backend)
+                dys = np.asarray(out[-1]).reshape(n, -1)  # (n, m)
+                return dys.T.reshape(y.shape + x.shape)
             rows = []
             for i in range(n):
                 seed = np.zeros_like(x).reshape(-1)
                 seed[i] = 1.0
-                out = fwd(x, seed.reshape(x.shape), backend=backend)
-                out = out if isinstance(out, tuple) else (out,)
+                out = _as_tuple(fwd(x, seed.reshape(x.shape), backend=backend))
                 rows.append(np.asarray(out[-1]).reshape(-1))
             return np.stack(rows, axis=1).reshape(y.shape + x.shape)
+        if use_batched:
+            seeds = np.eye(m, dtype=np.float64).reshape((m,) + y.shape)
+            out = rev.call_batched((x, seeds), (False, True), m, backend=backend)
+            xbars = np.asarray(out[-1]).reshape(m, -1)  # (m, n)
+            return xbars.reshape(y.shape + x.shape)
         rows = []
         for j in range(m):
             seed = np.zeros_like(y).reshape(-1)
             seed[j] = 1.0
-            out = rev(x, seed.reshape(y.shape), backend=backend)
-            out = out if isinstance(out, tuple) else (out,)
+            out = _as_tuple(rev(x, seed.reshape(y.shape), backend=backend))
             rows.append(np.asarray(out[-1]).reshape(-1))
         return np.stack(rows, axis=0).reshape(y.shape + x.shape)
 
+    run.fwd = fwd  # type: ignore[attr-defined]
+    run.rev = rev  # type: ignore[attr-defined]
     return run
 
 
@@ -164,11 +205,25 @@ def hessian_diag(f: FunLike, wrt: int = 0) -> Callable:
     ``wrt``-th parameter, computed with a *single* ``jvp(vjp(f))``
     invocation: when the Hessian is diagonal, seeding the all-ones tangent
     returns ``H·1`` = the diagonal — the sparsity-through-seeding trick of
-    §7.4 (k-means).  Other parameters are treated as data."""
+    §7.4 (k-means).  Other parameters are treated as data.
+
+    The tangent calling convention is derived from the parameter lists the
+    transforms actually produced (never assumed positionally): ``jvp`` of
+    ``gradf`` appends one tangent per float parameter of ``gradf`` — the
+    float parameters of ``f`` in order, then the adjoint seed.  Any mismatch
+    raises ``ADError`` instead of silently mis-seeding.
+    """
     fun = _pre_ad(_fun_of(f))
     r0 = fun.body.result[0].type
     if len(fun.body.result) != 1 or not is_float(r0) or rank_of(r0) != 0:
         raise ADError("hessian_diag: function must return a single float scalar")
+    if not 0 <= wrt < len(fun.params):
+        # Negative indices would pass ``params[wrt]`` but never match the
+        # (non-negative) parameter positions when seeding tangents, silently
+        # yielding H·0 = zeros — reject them outright.
+        raise ADError(
+            f"hessian_diag: wrt={wrt} out of range for {len(fun.params)} parameters"
+        )
     if not is_float(fun.params[wrt].type):
         raise ADError("hessian_diag: wrt parameter must be a float array")
     from ..opt.acc_opt import acc_opt_fun
@@ -178,14 +233,45 @@ def hessian_diag(f: FunLike, wrt: int = 0) -> Callable:
     hof = jvp_fun(optimize_fun(gradf))
     compiled = ADFunction(hof, len(gradf.body.result))
 
+    # Derive (and check) the tangent ordering from the actual parameter
+    # lists rather than trusting positional conventions.
+    n_args = len(fun.params)
+    gparams = gradf.params
+    if len(gparams) != n_args + 1 or [p.name for p in gparams[:n_args]] != [
+        p.name for p in fun.params
+    ]:
+        raise ADError(
+            "hessian_diag: vjp produced an unexpected parameter list "
+            f"{[p.name for p in gparams]} for primal parameters "
+            f"{[p.name for p in fun.params]}"
+        )
+    seed_param = gparams[-1]
+    if not is_float(seed_param.type) or rank_of(seed_param.type) != 0:
+        raise ADError(
+            f"hessian_diag: expected a scalar float adjoint seed parameter, "
+            f"got {seed_param.name}: {seed_param.type}"
+        )
+    float_idx = [i for i, p in enumerate(gparams) if is_float(p.type)]
+    tan_params = hof.params[len(gparams):]
+    if len(tan_params) != len(float_idx):
+        raise ADError(
+            f"hessian_diag: jvp produced {len(tan_params)} tangent "
+            f"parameters for {len(float_idx)} float parameters"
+        )
+
     def run(*args, backend: str = "vec"):
+        if len(args) != n_args:
+            raise ADError(
+                f"hessian_diag: expected {n_args} arguments, got {len(args)}"
+            )
         tangents = []
-        for i, (p, a) in enumerate(zip(fun.params, args)):
-            if is_float(p.type):
-                a = np.asarray(a, dtype=np.float64)
+        for i in float_idx:
+            if i < n_args:  # a float parameter of f
+                a = np.asarray(args[i], dtype=np.float64)
                 tangents.append(np.ones_like(a) if i == wrt else np.zeros_like(a))
-        # gradf args: (args..., seed); tangents follow for its float params.
-        out = compiled(*args, 1.0, *tangents, 0.0, backend=backend)
+            else:  # the adjoint seed: constant 1.0, so its tangent is zero
+                tangents.append(0.0)
+        out = compiled(*args, 1.0, *tangents, backend=backend)
         # Results: (y, x̄, ẏ, x̄̇) — the last is (d/dε)∇f(x+ε·1) = H·1.
         return np.asarray(out[-1])
 

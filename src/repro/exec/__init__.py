@@ -1,4 +1,15 @@
-"""Executors: reference interpreter, vectorised SIMT simulator, cost model."""
+"""Executors: reference interpreter, vectorised SIMT simulator, plan
+compiler (closure-compiled, cached), and the cost model."""
 from .cost import Cost, CostRecorder  # noqa: F401
 from .interp import RefInterp, run_fun  # noqa: F401
+from .plan import (  # noqa: F401
+    Plan,
+    clear_plan_cache,
+    compile_plan,
+    plan_cache_stats,
+    plan_for,
+    run_fun_plan,
+    run_fun_plan_batched,
+)
 from .values import AccVal, coerce_arg, zeros_of  # noqa: F401
+from .vector import VecInterp, run_fun_vec, run_fun_vec_batched  # noqa: F401

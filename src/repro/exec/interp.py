@@ -50,6 +50,7 @@ from ..ir.ast import (
 from ..ir.types import AccType, np_dtype, rank_of
 from ..util import ExecError
 from .cost import CostRecorder, NullRecorder
+from . import values as _values
 from .prims import apply_binop, apply_unop, cast_to
 from .values import AccVal, coerce_arg, scalar_value, zeros_of
 
@@ -394,7 +395,8 @@ class RefInterp:
         state = [self.atom(i, env) for i in e.inits]
         rec = self.rec
         rec.push("seq")
-        fuel = 10_000_000
+        limit = _values.WHILE_FUEL
+        fuel = limit
         while True:
             for p, v in zip(e.cond.params, state):
                 env[p.name] = v
@@ -406,7 +408,9 @@ class RefInterp:
             state = list(self.eval_body(e.body, env))
             fuel -= 1
             if fuel <= 0:
-                raise ExecError("while loop exceeded iteration fuel")
+                raise ExecError(
+                    f"while loop exceeded iteration fuel ({limit} iterations)"
+                )
         rec.pop()
         return tuple(state)
 

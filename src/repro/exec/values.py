@@ -14,7 +14,22 @@ import numpy as np
 from ..ir.types import ArrayType, Scalar, Type, np_dtype, rank_of
 from ..util import ExecError
 
-__all__ = ["AccVal", "coerce_arg", "check_value", "zeros_of", "scalar_value"]
+__all__ = [
+    "AccVal",
+    "coerce_arg",
+    "check_value",
+    "zeros_of",
+    "scalar_value",
+    "WHILE_FUEL",
+]
+
+#: Iteration budget for ``WhileLoop`` execution, shared by every backend
+#: (reference, vectorised, plan).  A loop that runs this many iterations is
+#: assumed divergent and aborted with an ``ExecError`` naming the budget.
+#: Mutable configuration knob: executors read it at call time, so tests (or
+#: callers with genuinely longer-running loops) may rebind
+#: ``repro.exec.values.WHILE_FUEL``.
+WHILE_FUEL: int = 10_000_000
 
 
 @dataclass

@@ -64,10 +64,11 @@ from ..ir.ast import (
 )
 from ..ir.types import np_dtype
 from ..util import ExecError
+from . import values as _values
 from .prims import apply_binop, apply_unop, cast_to
 from .values import coerce_arg
 
-__all__ = ["VecInterp", "run_fun_vec", "BV", "AccBV"]
+__all__ = ["VecInterp", "run_fun_vec", "run_fun_vec_batched", "BV", "AccBV"]
 
 _UFUNC = {"add": np.add, "mul": np.multiply, "min": np.minimum, "max": np.maximum}
 
@@ -143,6 +144,94 @@ def _grids(prefix: Tuple[int, ...], extra: int = 0) -> Tuple[np.ndarray, ...]:
     return tuple(gs)
 
 
+# ---------------------------------------------------------------------------
+# Runtime primitives shared with the plan compiler (exec/plan.py)
+#
+# These are state-generic: ``state`` is any object with ``bstack``/``mask``
+# attributes (a ``VecInterp`` or a plan ``_Engine``).  Keeping one copy here
+# is what guarantees the two backends cannot drift semantically.
+# ---------------------------------------------------------------------------
+
+
+def _combine_mask(m: Optional[BV], extra: BV) -> BV:
+    if m is None:
+        return extra
+    datas, k, _ = _align([m, extra])
+    return BV(np.logical_and(datas[0], datas[1]), k)
+
+
+def _mask_where(state, v: np.ndarray, k: int, neutral) -> np.ndarray:
+    """Replace inactive lanes' elements of ``v`` (batch depth ``k``) by
+    ``neutral``."""
+    if state.mask is None:
+        return v
+    md = _expand(state.mask, k) if state.mask.bdims <= k else np.asarray(state.mask.data)
+    md = md.reshape(md.shape + (1,) * (np.asarray(v).ndim - md.ndim))
+    return np.where(md, v, neutral)
+
+
+def _elem(f, *vs) -> BV:
+    datas, k, _ = _align(list(vs))
+    return BV(np.asarray(f(*datas)), k)
+
+
+def _where(c: BV, t, f):
+    if isinstance(t, AccBV) or isinstance(f, AccBV):
+        if t is f:
+            return t
+        raise ExecError("accumulators must be threaded identically through branches")
+    return _elem(np.where, c, t, f)
+
+
+def _gather(arr: BV, idxs: List[BV]) -> BV:
+    k = max([arr.bdims] + [i.bdims for i in idxs])
+    ad = _expand(arr, k)
+    # Clip for memory safety: inactive/divergent lanes may hold garbage
+    # indices; their results are never selected downstream.
+    sel = []
+    for a, i in enumerate(idxs):
+        dim = ad.shape[k + a]
+        sel.append(np.clip(_expand(i, k), 0, max(dim - 1, 0)))
+    if k == 0:
+        out = ad[tuple(int(np.asarray(i)[()]) for i in sel)]
+        return BV(np.asarray(out), 0)
+    out = ad[_grids(ad.shape[:k]) + tuple(sel)]
+    return BV(np.asarray(out), k)
+
+
+def _uniform_int(v: BV, what: str) -> int:
+    """A lane-uniform integer extent (iota/replicate/histogram sizes)."""
+    d = np.asarray(v.data)
+    if d.size == 0:
+        return 0
+    u = np.unique(d)
+    if u.size != 1:
+        raise ExecError(
+            f"{what} varies across parallel lanes (irregular nested "
+            f"parallelism is not supported by the vectorised backend)"
+        )
+    return int(u[0])
+
+
+def _batch_args(state, vs: Sequence[BV]) -> Tuple[List[BV], int]:
+    """Enter SOAC arguments: push their leading payload axis to batch depth
+    ``len(state.bstack) + 1`` and return the common extent."""
+    d = len(state.bstack)
+    params: List[BV] = []
+    n: Optional[int] = None
+    for v in vs:
+        dd = _expand(v, d)
+        if dd.ndim <= d:
+            raise ExecError("map/soac: argument has no payload axis")
+        ln = dd.shape[d]
+        if n is None:
+            n = ln
+        elif ln != n:
+            raise ExecError(f"map/soac: array length mismatch {n} vs {ln}")
+        params.append(BV(dd, d + 1))
+    return params, int(n or 0)
+
+
 class VecInterp:
     """Vectorising evaluator (one instance per call; not reentrant)."""
 
@@ -189,36 +278,18 @@ class VecInterp:
                 env[v.name] = val
         return tuple(self.atom(r, env) for r in body.result)
 
-    # -- masking ---------------------------------------------------------------------
+    # -- masking / elementwise (shared module-level primitives) ----------------------
 
-    @staticmethod
-    def _combine_mask(m: Optional[BV], extra: BV) -> BV:
-        if m is None:
-            return extra
-        datas, k, _ = _align([m, extra])
-        return BV(np.logical_and(datas[0], datas[1]), k)
+    _combine_mask = staticmethod(_combine_mask)
 
     def _mask_where(self, v: np.ndarray, k: int, neutral) -> np.ndarray:
-        """Replace inactive lanes' elements of ``v`` (batch depth ``k``) by
-        ``neutral``."""
-        if self.mask is None:
-            return v
-        md = _expand(self.mask, k) if self.mask.bdims <= k else np.asarray(self.mask.data)
-        md = md.reshape(md.shape + (1,) * (np.asarray(v).ndim - md.ndim))
-        return np.where(md, v, neutral)
-
-    # -- elementwise ---------------------------------------------------------------------
+        return _mask_where(self, v, k, neutral)
 
     def _elem(self, f, *vs) -> BV:
-        datas, k, _ = _align(list(vs))
-        return BV(np.asarray(f(*datas)), k)
+        return _elem(f, *vs)
 
     def _where(self, c: BV, t, f):
-        if isinstance(t, AccBV) or isinstance(f, AccBV):
-            if t is f:
-                return t
-            raise ExecError("accumulators must be threaded identically through branches")
-        return self._elem(np.where, c, t, f)
+        return _where(c, t, f)
 
     # -- expressions ------------------------------------------------------------------------
 
@@ -329,32 +400,10 @@ class VecInterp:
     # -- helpers ---------------------------------------------------------------------------
 
     def _static_int(self, a: Atom, env, what: str) -> int:
-        v = self.atom(a, env)
-        d = np.asarray(v.data)
-        if d.size == 0:
-            return 0
-        u = np.unique(d)
-        if u.size != 1:
-            raise ExecError(
-                f"{what} varies across parallel lanes (irregular nested "
-                f"parallelism is not supported by the vectorised backend)"
-            )
-        return int(u[0])
+        return _uniform_int(self.atom(a, env), what)
 
     def _gather(self, arr: BV, idxs: List[BV]) -> BV:
-        k = max([arr.bdims] + [i.bdims for i in idxs])
-        ad = _expand(arr, k)
-        # Clip for memory safety: inactive/divergent lanes may hold garbage
-        # indices; their results are never selected downstream.
-        sel = []
-        for a, i in enumerate(idxs):
-            dim = ad.shape[k + a]
-            sel.append(np.clip(_expand(i, k), 0, max(dim - 1, 0)))
-        if k == 0:
-            out = ad[tuple(int(np.asarray(i)[()]) for i in sel)]
-            return BV(np.asarray(out), 0)
-        out = ad[_grids(ad.shape[:k]) + tuple(sel)]
-        return BV(np.asarray(out), k)
+        return _gather(arr, idxs)
 
     def _update(self, e: Update, env) -> BV:
         arr = self.atom(e.arr, env)
@@ -385,21 +434,7 @@ class VecInterp:
     # -- SOACs ------------------------------------------------------------------------------
 
     def _map_args(self, e_arrs: Tuple[Var, ...], env) -> Tuple[List[BV], int]:
-        d = len(self.bstack)
-        params: List[BV] = []
-        n: Optional[int] = None
-        for a in e_arrs:
-            v = self.atom(a, env)
-            dd = _expand(v, d)
-            if dd.ndim <= d:
-                raise ExecError("map/soac: argument has no payload axis")
-            ln = dd.shape[d]
-            if n is None:
-                n = ln
-            elif ln != n:
-                raise ExecError(f"map/soac: array length mismatch {n} vs {ln}")
-            params.append(BV(dd, d + 1))
-        return params, int(n or 0)
+        return _batch_args(self, [self.atom(a, env) for a in e_arrs])
 
     def _eval_map(self, e: Map, env) -> Tuple[object, ...]:
         d = len(self.bstack)
@@ -605,7 +640,8 @@ class VecInterp:
     def _eval_while(self, e: WhileLoop, env) -> Tuple[object, ...]:
         state = [self.atom(i, env) for i in e.inits]
         saved = self.mask
-        fuel = 10_000_000
+        limit = _values.WHILE_FUEL
+        fuel = limit
         while True:
             for p, v in zip(e.cond.params, state):
                 env[p.name] = v
@@ -624,7 +660,9 @@ class VecInterp:
             self.mask = saved
             fuel -= 1
             if fuel <= 0:
-                raise ExecError("while loop exceeded iteration fuel")
+                raise ExecError(
+                    f"while loop exceeded iteration fuel ({limit} iterations)"
+                )
         self.mask = saved
         return tuple(state)
 
@@ -683,3 +721,53 @@ class VecInterp:
 def run_fun_vec(fun: Fun, args: Sequence[object]) -> Tuple[object, ...]:
     """Evaluate ``fun`` with the vectorised backend."""
     return VecInterp().run(fun, args)
+
+
+def run_fun_vec_batched(
+    fun: Fun,
+    args: Sequence[object],
+    batched: Sequence[bool],
+    batch_size: int,
+) -> Tuple[object, ...]:
+    """Evaluate ``fun`` once with selected arguments batched.
+
+    Arguments flagged in ``batched`` carry one extra leading axis of extent
+    ``batch_size`` (e.g. a stack of AD seed vectors); the others are shared
+    across the batch.  Execution enters the interpreter with one pre-pushed
+    batch level — exactly the state of evaluating a ``map`` over the batch —
+    so every statement runs as a single bulk NumPy op over all batch members.
+    Every result is returned with a leading ``batch_size`` axis.
+
+    This is the batched-seed driver behind ``jacobian``: all n/m basis
+    seeds evaluate in one interpreter pass instead of n/m separate runs.
+    """
+    if len(args) != len(fun.params):
+        raise ExecError(
+            f"{fun.name}: expected {len(fun.params)} arguments, got {len(args)}"
+        )
+    if len(batched) != len(args):
+        raise ExecError("run_fun_vec_batched: batched flags must match arguments")
+    interp = VecInterp()
+    b = int(batch_size)
+    interp.bstack.append(b)
+    env: Dict[str, object] = {}
+    for p, a, flag in zip(fun.params, args, batched):
+        if flag:
+            arr = np.asarray(a)
+            if arr.ndim == 0 or arr.shape[0] != b:
+                raise ExecError(
+                    f"batched argument {p.name}: leading axis {arr.shape[:1]} "
+                    f"does not match batch size {b}"
+                )
+            env[p.name] = BV(np.ascontiguousarray(arr, dtype=np_dtype(p.type)), 1)
+        else:
+            env[p.name] = BV(np.asarray(coerce_arg(a, p.type)), 0)
+    with np.errstate(all="ignore"):
+        res = interp.eval_body(fun.body, env)
+    out = []
+    for r in res:
+        if isinstance(r, AccBV):
+            raise ExecError("accumulator escaped to top level")
+        d = _expand(r, 1)
+        out.append(np.ascontiguousarray(np.broadcast_to(d, (b,) + d.shape[1:])))
+    return tuple(out)

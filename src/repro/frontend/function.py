@@ -1,26 +1,50 @@
-"""Compiled-function wrapper: trace → (optimise) → run on a chosen backend."""
+"""Compiled-function wrapper: trace → (optimise) → run on a chosen backend.
+
+Backends
+--------
+
+* ``"vec"`` (default) — the vectorised SIMT simulator, re-interpreting the
+  IR on every call;
+* ``"ref"`` — the reference interpreter (semantics oracle, drives the cost
+  model);
+* ``"plan"`` — the plan compiler: the function is lowered once to a flat
+  sequence of NumPy closures and memoised per argument shape/dtype signature
+  (see ``exec/plan.py`` for cache keying and invalidation), so repeat calls
+  skip optimisation and AST dispatch entirely.
+
+``call_batched`` is the batched multi-seed entry used by ``jacobian``: it
+evaluates the function once with selected arguments carrying a leading batch
+axis (supported on the ``vec`` and ``plan`` backends, whose batching
+machinery makes it a single bulk pass).
+"""
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from ..exec.cost import Cost, CostRecorder
 from ..exec.interp import RefInterp
-from ..exec.vector import run_fun_vec
+from ..exec.plan import run_fun_plan, run_fun_plan_batched
+from ..exec.vector import run_fun_vec, run_fun_vec_batched
 from ..ir.ast import Fun
 from ..ir.pretty import pretty
 from ..util import ReproError
 
 __all__ = ["Compiled", "compile_fun"]
 
-BACKENDS = ("vec", "ref")
+BACKENDS = ("vec", "ref", "plan")
+
+#: Backends able to evaluate all seeds of a multi-seed derivative in one
+#: batched pass (the reference interpreter loops instead).
+BATCHED_BACKENDS = ("vec", "plan")
 
 
 class Compiled:
     """A runnable IR function.
 
     ``backend="vec"`` (default) uses the vectorised SIMT simulator;
-    ``backend="ref"`` the reference interpreter.  ``cost()`` measures the
-    cost-model counters of a run (reference interpretation).
+    ``backend="ref"`` the reference interpreter; ``backend="plan"`` the
+    cached plan compiler.  ``cost()`` measures the cost-model counters of a
+    run (reference interpretation).
     """
 
     def __init__(self, fun: Fun, optimize: bool = True) -> None:
@@ -42,13 +66,37 @@ class Compiled:
         return pretty(self.fun)
 
     def __call__(self, *args, backend: str = "vec"):
-        if backend not in BACKENDS:
-            raise ReproError(f"unknown backend {backend!r}; choose from {BACKENDS}")
         if backend == "vec":
             res = run_fun_vec(self.fun, args)
-        else:
+        elif backend == "plan":
+            res = run_fun_plan(self.fun, args)
+        elif backend == "ref":
             res = RefInterp().run(self.fun, args)
+        else:
+            raise ReproError(f"unknown backend {backend!r}; choose from {BACKENDS}")
         return res[0] if len(res) == 1 else res
+
+    def call_batched(
+        self,
+        args: Sequence[object],
+        batched: Sequence[bool],
+        batch_size: int,
+        backend: str = "plan",
+    ) -> Tuple[object, ...]:
+        """Evaluate once with the flagged arguments batched on a leading axis.
+
+        Always returns a tuple of results, each with a leading ``batch_size``
+        axis.  Only the bulk backends support this; use a Python loop for
+        ``ref``.
+        """
+        if backend == "plan":
+            return run_fun_plan_batched(self.fun, args, batched, batch_size)
+        if backend == "vec":
+            return run_fun_vec_batched(self.fun, args, batched, batch_size)
+        raise ReproError(
+            f"backend {backend!r} cannot run batched seeds; "
+            f"choose from {BATCHED_BACKENDS}"
+        )
 
     def cost(self, *args) -> Cost:
         """Run under the cost model; returns work/span/memory counters."""

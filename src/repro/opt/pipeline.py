@@ -4,28 +4,60 @@ Mirrors the paper's setup: a battery of standard simplifications runs both
 before AD (the source program is "already heavily optimized by the compiler")
 and after AD (where DCE is what eliminates the redundant forward sweeps of
 perfectly-nested scopes, §4.1).
+
+Results are memoised per input ``Fun`` (by object identity, with a strong
+reference retained so ids cannot be recycled): the AD entry points and the
+``Compiled`` wrapper optimise the same function objects repeatedly, and on
+the hot path — e.g. ``jacobian`` building fwd+rev derivatives of one
+function — the memo turns those re-runs into dictionary lookups.  Converged
+outputs (fixed points of the pipeline) are registered as their own results,
+so ``optimize_fun(optimize_fun(f))`` is free.  ``clear_opt_cache`` bounds
+memory; entries never go stale (``Fun`` is immutable).
 """
 from __future__ import annotations
 
+from typing import Dict, Tuple
+
 from ..ir.ast import Fun
 
-__all__ = ["optimize_fun", "PIPELINE"]
+__all__ = ["optimize_fun", "clear_opt_cache", "PIPELINE"]
+
+# key: (id of the input Fun, rounds) → (input Fun kept alive, optimised Fun)
+_OPT_CACHE: Dict[Tuple[int, int], Tuple[Fun, Fun]] = {}
 
 
-def optimize_fun(fun: Fun, rounds: int = 3) -> Fun:
+def optimize_fun(fun: Fun, rounds: int = 3, cache: bool = True) -> Fun:
     """Run the standard pipeline to a fixed point (bounded by ``rounds``)."""
+    if cache:
+        hit = _OPT_CACHE.get((id(fun), rounds))
+        if hit is not None and hit[0] is fun:
+            return hit[1]
     from .simplify import simplify_fun
     from .cse import cse_fun
     from .dce import dce_fun
 
+    src = fun
+    converged = False
     for _ in range(rounds):
         prev = fun
         fun = simplify_fun(fun)
         fun = cse_fun(fun)
         fun = dce_fun(fun)
         if fun == prev:
+            converged = True
             break
+    if cache:
+        _OPT_CACHE[(id(src), rounds)] = (src, fun)
+        if converged:
+            # The pipeline is deterministic, so a converged output maps to
+            # itself — make re-optimising the result a cache hit too.
+            _OPT_CACHE[(id(fun), rounds)] = (fun, fun)
     return fun
+
+
+def clear_opt_cache() -> None:
+    """Drop all memoised optimisation results."""
+    _OPT_CACHE.clear()
 
 
 PIPELINE = ("simplify", "cse", "dce")

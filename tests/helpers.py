@@ -8,17 +8,23 @@ import numpy as np
 
 import repro as rp
 
-BACKENDS = ("ref", "vec")
+BACKENDS = ("ref", "vec", "plan")
 
 
 def run_both(fc, *args):
-    """Run a compiled function on both backends and assert agreement."""
+    """Run a compiled function on every backend and assert agreement with
+    the reference interpreter."""
     r_ref = fc(*args, backend="ref")
-    r_vec = fc(*args, backend="vec")
     rr = r_ref if isinstance(r_ref, tuple) else (r_ref,)
-    rv = r_vec if isinstance(r_vec, tuple) else (r_vec,)
-    for a, b in zip(rr, rv):
-        np.testing.assert_allclose(np.asarray(a), np.asarray(b), rtol=1e-10, atol=1e-10)
+    for be in BACKENDS[1:]:
+        r_be = fc(*args, backend=be)
+        rv = r_be if isinstance(r_be, tuple) else (r_be,)
+        assert len(rr) == len(rv), f"backend {be}: result arity mismatch"
+        for a, b in zip(rr, rv):
+            np.testing.assert_allclose(
+                np.asarray(a), np.asarray(b), rtol=1e-10, atol=1e-10,
+                err_msg=f"backend {be} disagrees with ref",
+            )
     return r_ref
 
 

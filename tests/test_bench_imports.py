@@ -1,0 +1,40 @@
+"""Import-smoke coverage for the benchmark suite.
+
+``bench_*.py`` files are not collected by pytest's default ``test_*``
+pattern, so signature drift in the app/AD APIs they call would otherwise go
+unnoticed until someone runs the benchmarks by hand.  Importing each module
+executes its setup-level code (grids, paper tables, IR builders referenced
+at module scope) without running any benchmark.
+"""
+import importlib
+import pathlib
+import sys
+
+import pytest
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmarks"
+BENCH_MODULES = sorted(p.stem for p in BENCH_DIR.glob("bench_*.py"))
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _bench_on_path():
+    sys.path.insert(0, str(BENCH_DIR))
+    try:
+        yield
+    finally:
+        sys.path.remove(str(BENCH_DIR))
+
+
+def test_bench_modules_discovered():
+    # The paper's tables 1-6 plus ablations and the shared common module.
+    assert len(BENCH_MODULES) >= 7
+
+
+@pytest.mark.parametrize("mod", BENCH_MODULES)
+def test_bench_module_imports(mod):
+    importlib.import_module(mod)
+
+
+def test_common_exposes_plan_backend_wiring():
+    common = importlib.import_module("common")
+    assert common.BENCH_BACKEND in ("plan", "vec", "ref")

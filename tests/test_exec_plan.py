@@ -1,0 +1,233 @@
+"""Plan backend: parity with the interpreters, batched multi-seed jacobians,
+shape-specialised cache behaviour, and the compiled-path speedup."""
+import numpy as np
+import pytest
+
+import repro as rp
+from helpers import run_both
+from repro.exec import values as exec_values
+from repro.exec.plan import clear_plan_cache, plan_cache_stats
+from repro.util import ADError, ExecError
+
+rng = np.random.default_rng(7)
+
+
+# ---------------------------------------------------------------------------
+# Parity (run_both also covers "plan" suite-wide via helpers.BACKENDS)
+# ---------------------------------------------------------------------------
+
+
+def test_plan_parity_nested_control_flow():
+    def f(m, ns):
+        def row(r, n):
+            s = rp.scan(lambda a, b: a + b, 0.0, r)
+            t = rp.sum(rp.map(lambda x: rp.tanh(x), s))
+            u = rp.fori_loop(n, lambda i, a: a * 0.9 + t, t)
+            return rp.cond(u > 0.0, lambda: u, lambda: u * u)
+
+        return rp.map(row, m, ns)
+
+    fc = rp.compile(rp.trace_like(f, (np.ones((2, 3)), np.array([1, 2]))))
+    run_both(fc, rng.standard_normal((4, 5)), np.array([0, 3, 1, 5]))
+
+
+def test_plan_parity_hist_scatter_update():
+    def f(inds, vals, dest):
+        h = rp.reduce_by_index(4, lambda a, b: a + b, 0.0, inds, vals)
+        s = rp.scatter(dest, inds, vals)
+        u = rp.update(s, 0, 9.5)
+        return h, u
+
+    fc = rp.compile(
+        rp.trace_like(f, (np.array([0, 1]), np.ones(2), np.zeros(6)))
+    )
+    run_both(
+        fc, np.array([1, 3, 1, 7, -1, 0]), rng.standard_normal(6), np.zeros(6)
+    )
+
+
+def test_plan_parity_reverse_ad_with_accumulators():
+    def f(xs, ys):
+        return rp.sum(rp.map(lambda x, y: rp.exp(x) * y, xs, ys))
+
+    fc = rp.compile(rp.trace_like(f, (np.ones(5), np.ones(5))))
+    g = rp.grad(fc)
+    xs, ys = rng.standard_normal(5), rng.standard_normal(5)
+    for got in (g(xs, ys, backend="plan"),):
+        ref = g(xs, ys, backend="ref")
+        np.testing.assert_allclose(np.asarray(got), np.asarray(ref))
+
+
+def test_plan_irregular_nested_parallelism_rejected():
+    def f(ns):
+        return rp.map(
+            lambda n: rp.sum(rp.map(lambda i: rp.astype(i, rp.F64), rp.iota(n))), ns
+        )
+
+    fc = rp.compile(rp.trace_like(f, (np.array([1, 2]),)))
+    with pytest.raises(ExecError):
+        fc(np.array([1, 2, 3]), backend="plan")
+
+
+# ---------------------------------------------------------------------------
+# Batched multi-seed jacobian
+# ---------------------------------------------------------------------------
+
+
+def _matrix_to_vector():
+    """A non-square case: (3,4) matrix input -> length-3 vector output."""
+
+    def f(m):
+        return rp.map(lambda r: rp.sum(rp.map(lambda x: rp.tanh(x * x), r)), m)
+
+    return rp.compile(rp.trace_like(f, (np.ones((3, 4)),)))
+
+
+@pytest.mark.parametrize("mode", ["fwd", "rev"])
+def test_jacobian_batched_vs_looped_all_backends(mode):
+    fc = _matrix_to_vector()
+    x = rng.standard_normal((3, 4))
+    j = rp.jacobian(fc, mode=mode)
+    ref = j(x, backend="ref")  # ref always loops over seeds
+    assert ref.shape == (3, 3, 4)
+    for backend in ("vec", "plan"):
+        looped = j(x, backend=backend, batched=False)
+        batch = j(x, backend=backend, batched=True)
+        np.testing.assert_allclose(looped, ref, rtol=1e-10, atol=1e-10)
+        np.testing.assert_allclose(batch, ref, rtol=1e-10, atol=1e-10)
+
+
+def test_jacobian_fwd_rev_parity_nonsquare():
+    fc = _matrix_to_vector()
+    x = rng.standard_normal((3, 4))
+    jf = rp.jacobian(fc, mode="fwd")
+    jr = rp.jacobian(fc, mode="rev")
+    for backend in ("ref", "vec", "plan"):
+        np.testing.assert_allclose(
+            jf(x, backend=backend), jr(x, backend=backend), rtol=1e-9, atol=1e-9
+        )
+
+
+def test_jacobian_multidim_output_shape_and_values():
+    # vector -> matrix: J has shape y.shape + x.shape = (2, 3, 4)
+    def f(v):
+        return rp.map(lambda a: rp.map(lambda b: a * b, v), v)
+
+    fc = rp.compile(rp.trace_like(f, (np.ones(3),)))
+    # f: R^3 -> R^{3x3}; check against the analytic Jacobian.
+    x = rng.standard_normal(3)
+    j = rp.jacobian(fc)
+    J = j(x, backend="plan")
+    assert J.shape == (3, 3, 3)
+    expect = np.zeros((3, 3, 3))
+    for i in range(3):
+        for k in range(3):
+            expect[i, k, i] += x[k]
+            expect[i, k, k] += x[i]
+    np.testing.assert_allclose(J, expect, rtol=1e-10, atol=1e-10)
+    np.testing.assert_allclose(J, j(x, backend="ref"), rtol=1e-10, atol=1e-10)
+
+
+def test_jacobian_batched_on_ref_fails_loudly():
+    fc = _matrix_to_vector()
+    with pytest.raises(ADError):
+        rp.jacobian(fc)(np.ones((3, 4)), backend="ref", batched=True)
+
+
+# ---------------------------------------------------------------------------
+# Plan cache
+# ---------------------------------------------------------------------------
+
+
+def test_plan_cache_hit_skips_recompile():
+    def f(v):
+        return rp.map(lambda x: rp.sin(x) * 2.0, v)
+
+    fc = rp.compile(rp.trace_like(f, (np.ones(4),)))
+    clear_plan_cache()
+    x = rng.standard_normal(4)
+    fc(x, backend="plan")
+    s1 = plan_cache_stats()
+    assert s1["misses"] >= 1 and s1["hits"] == 0
+    fc(x, backend="plan")
+    fc(x, backend="plan")
+    s2 = plan_cache_stats()
+    assert s2["misses"] == s1["misses"], "repeat same-shape call re-lowered a plan"
+    assert s2["hits"] == s1["hits"] + 2
+    # A new shape signature is a distinct specialisation (one more miss).
+    fc(rng.standard_normal(9), backend="plan")
+    s3 = plan_cache_stats()
+    assert s3["misses"] == s2["misses"] + 1
+
+
+def test_plan_cache_counts_jacobian_reuse():
+    fc = _matrix_to_vector()
+    j = rp.jacobian(fc)
+    x = rng.standard_normal((3, 4))
+    clear_plan_cache()
+    j(x, backend="plan")
+    misses_first = plan_cache_stats()["misses"]
+    j(x, backend="plan")
+    j(x, backend="plan")
+    s = plan_cache_stats()
+    assert s["misses"] == misses_first, "jacobian re-lowered plans on repeat calls"
+    assert s["hits"] >= 2 * 2  # primal + derivative plan per call
+
+
+# ---------------------------------------------------------------------------
+# While-loop fuel (shared, configurable constant)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", ["ref", "vec", "plan"])
+def test_while_fuel_configurable_and_reported(backend, monkeypatch):
+    def f(x):
+        return rp.while_loop(lambda v: v < 1.0e9, lambda v: v + 1.0, x)
+
+    fc = rp.compile(rp.trace_like(f, (0.0,)))
+    monkeypatch.setattr(exec_values, "WHILE_FUEL", 25)
+    with pytest.raises(ExecError, match=r"25 iterations"):
+        fc(0.0, backend=backend)
+
+
+# ---------------------------------------------------------------------------
+# Compiled-path speedup (acceptance: >= 3x on a GMM-sized jacobian)
+# ---------------------------------------------------------------------------
+
+
+def _median_time(f, repeats=3):
+    import time
+
+    ts = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        f()
+        ts.append(time.perf_counter() - t0)
+    return float(np.median(ts))
+
+
+def test_batched_plan_jacobian_speedup_over_looped_vec():
+    # GMM-sized: 64-dimensional input, O(n^2) work per evaluation.
+    n = 64
+
+    def f(v):
+        return rp.map(lambda a: rp.sum(rp.map(lambda b: rp.tanh(a * b), v)), v)
+
+    fc = rp.compile(rp.trace_like(f, (np.ones(n),)))
+    j = rp.jacobian(fc, mode="fwd")
+    x = rng.standard_normal(n)
+    # Warm up: lower plans, and check the two paths agree before timing.
+    np.testing.assert_allclose(
+        j(x, backend="plan", batched=True),
+        j(x, backend="vec", batched=False),
+        rtol=1e-9,
+        atol=1e-9,
+    )
+    t_loop = _median_time(lambda: j(x, backend="vec", batched=False))
+    t_plan = _median_time(lambda: j(x, backend="plan", batched=True))
+    speedup = t_loop / t_plan
+    print(
+        f"\njacobian n={n}: looped-vec {t_loop*1e3:.1f} ms, "
+        f"batched-plan {t_plan*1e3:.1f} ms, speedup {speedup:.1f}x"
+    )
+    assert speedup >= 3.0, f"batched plan jacobian only {speedup:.2f}x faster"

@@ -114,6 +114,39 @@ def test_irregular_iota_rejected_in_vec():
     np.testing.assert_allclose(out, [0.0, 1.0, 3.0])
 
 
+def test_run_fun_vec_batched_matches_looped_runs():
+    # The batched-seed driver must agree with one interpreter run per seed.
+    from repro.exec.vector import run_fun_vec, run_fun_vec_batched
+
+    def f(x, s):
+        return rp.sum(rp.map(lambda a, b: rp.sin(a) * b, x, s)), rp.map(
+            lambda a, b: a + b * b, x, s
+        )
+
+    fc = rp.compile(rp.trace_like(f, (np.ones(4), np.ones(4))))
+    x = rng.standard_normal(4)
+    seeds = rng.standard_normal((6, 4))
+    batched = run_fun_vec_batched(fc.fun, (x, seeds), (False, True), 6)
+    assert all(np.asarray(r).shape[0] == 6 for r in batched)
+    for i in range(6):
+        row = run_fun_vec(fc.fun, (x, seeds[i]))
+        for got, want in zip(batched, row):
+            np.testing.assert_allclose(
+                np.asarray(got)[i], np.asarray(want), rtol=1e-12, atol=1e-12
+            )
+
+
+def test_run_fun_vec_batched_rejects_bad_batch_axis():
+    def f(x):
+        return rp.map(lambda a: a * 2.0, x)
+
+    fc = rp.compile(rp.trace_like(f, (np.ones(4),)))
+    from repro.exec.vector import run_fun_vec_batched
+
+    with pytest.raises(ExecError):
+        run_fun_vec_batched(fc.fun, (np.ones((3, 4)),), (True,), 5)
+
+
 @settings(max_examples=25, deadline=None)
 @given(
     n=st.integers(1, 7),
