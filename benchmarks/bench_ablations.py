@@ -1,22 +1,24 @@
-"""Ablations A1–A4 (per DESIGN.md):
+"""Ablations A1–A5 (per DESIGN.md):
 
 A1  §6.1 accumulator→reduce on the matmul adjoint (the GMM/LSTM lever);
 A2  §4.3 strip-mining time–space trade-off (checkpoint memory vs re-exec);
 A3  §4.1 perfect nests ⇒ no re-execution (DCE kills the forward sweeps);
-A4  §5.1 specialised reduce rules vs the general two-scan rule.
+A4  §5.1 specialised reduce rules vs the general two-scan rule;
+A5  SOAC fusion on/off on the GMM gradient (the pass-registry flag).
 """
 import numpy as np
 import pytest
 
 import repro as rp
+from repro.apps import datagen, gmm
 from repro.core.api import vjp
 from repro.exec.cost import CostRecorder
 from repro.exec.interp import RefInterp
 from repro.frontend.function import Compiled
-from repro.ir import count_stms
-from repro.opt.pipeline import optimize_fun
+from repro.ir import count_soacs, count_stms
+from repro.opt.pipeline import AD_SAFE_PASSES, optimize_fun
 from repro.core.vjp import vjp_fun
-from common import timeit, write_table
+from common import BENCH_BACKEND, timeit, write_table
 
 rng = np.random.default_rng(0)
 
@@ -158,3 +160,42 @@ def test_ablation_a4_reduce_special_vs_general(benchmark):
         ],
     )
     assert t_s < t_g
+
+
+# --- A5: SOAC fusion on/off ---------------------------------------------------------
+
+
+GMM_A5 = (128, 8, 8)
+
+
+@pytest.fixture(scope="module")
+def gmm_fusion_pair():
+    n, d, K = GMM_A5
+    args = datagen.gmm_instance(n, d, K, 0)[:4]
+    fun = gmm.build_ir(n, d, K)
+    g_on = vjp(rp.compile(fun), wrt=[0, 1, 2])
+    g_off = vjp(rp.compile(fun, passes=AD_SAFE_PASSES), wrt=[0, 1, 2], passes=AD_SAFE_PASSES)
+    return args, g_on, g_off
+
+
+@pytest.mark.parametrize("fused", [True, False])
+def test_ablation_a5_fusion(benchmark, fused, gmm_fusion_pair):
+    args, g_on, g_off = gmm_fusion_pair
+    g = g_on if fused else g_off
+    seeds = args + (1.0,)
+    benchmark(lambda: g(*seeds, backend=BENCH_BACKEND))
+    if not fused:
+        t_on = timeit(lambda: g_on(*seeds, backend=BENCH_BACKEND))
+        t_off = timeit(lambda: g_off(*seeds, backend=BENCH_BACKEND))
+        s_on, s_off = count_soacs(g_on.fun), count_soacs(g_off.fun)
+        write_table(
+            "ablation_a5_fusion",
+            [
+                "A5: SOAC fusion on/off — GMM gradient (pass-registry flag)",
+                f"shape {GMM_A5}: fused {t_on*1000:.1f} ms / {s_on} SOACs, "
+                f"unfused {t_off*1000:.1f} ms / {s_off} SOACs",
+                "fusion inlines producers into consumers (redomap shapes), so the",
+                "post-AD gradient materialises fewer intermediates per pass.",
+            ],
+        )
+        assert s_on < s_off

@@ -87,29 +87,29 @@ def test_table1_gmm_manual(benchmark):
 
 
 # ---------------------------------------------------------------------------
-# BA: sparse Jacobian via seeded passes (ours: 2 vjp passes)
+# BA: sparse Jacobian via seeded passes (ours: both residual-component
+# reverse passes evaluated in one batched call_batched pass on the bulk
+# backends — see ba.jacobian_ad)
 # ---------------------------------------------------------------------------
+
+from common import BENCH_BACKEND
 
 BA_CAMS, BA_PTS, BA_OBS = 16, 64, 256
 
 
-def _ba_jac_ours(jv, gc, gp, gw, feats):
-    n = gc.shape[0]
-    for comp in range(2):
-        seeds = [np.zeros(n), np.zeros(n), np.zeros(n)]
-        seeds[comp] = np.ones(n)
-        jv(gc, gp, gw, feats, *seeds)
+def _ba_jac_ours(jv_raw, gc, gp, gw, feats):
+    ba.jacobian_ad(jv_raw, gc, gp, gw, feats, backend=BENCH_BACKEND)
 
 
 def test_table1_ba_ours(benchmark):
-    (gc, gp, gw, feats), fc, jv = ba_setup(BA_CAMS, BA_PTS, BA_OBS)
+    (gc, gp, gw, feats), fc, jv, jv_raw = ba_setup(BA_CAMS, BA_PTS, BA_OBS)
     t_obj = timeit(fc, gc, gp, gw, feats)
-    benchmark(lambda: _ba_jac_ours(jv, gc, gp, gw, feats))
-    _record("BA", "ours", timeit(lambda: _ba_jac_ours(jv, gc, gp, gw, feats)) / t_obj)
+    benchmark(lambda: _ba_jac_ours(jv_raw, gc, gp, gw, feats))
+    _record("BA", "ours", timeit(lambda: _ba_jac_ours(jv_raw, gc, gp, gw, feats)) / t_obj)
 
 
 def test_table1_ba_tape(benchmark):
-    (gc, gp, gw, feats), fc, jv = ba_setup(BA_CAMS, BA_PTS, BA_OBS)
+    (gc, gp, gw, feats), fc, jv, jv_raw = ba_setup(BA_CAMS, BA_PTS, BA_OBS)
 
     def obj():
         return [t.data for t in ba.residuals_eager(gc, gp, gw, feats)]
@@ -127,7 +127,7 @@ def test_table1_ba_tape(benchmark):
 
 
 def test_table1_ba_manual(benchmark):
-    (gc, gp, gw, feats), fc, jv = ba_setup(BA_CAMS, BA_PTS, BA_OBS)
+    (gc, gp, gw, feats), fc, jv, jv_raw = ba_setup(BA_CAMS, BA_PTS, BA_OBS)
     t_obj = timeit(lambda: ba.residuals_np(gc, gp, gw, feats))
     benchmark(lambda: ba.jacobian_manual(gc, gp, gw, feats))
     _record("BA", "manual", timeit(lambda: ba.jacobian_manual(gc, gp, gw, feats)) / t_obj)

@@ -30,7 +30,7 @@ import numpy as np
 from ..frontend.function import BATCHED_BACKENDS, Compiled, compile_fun
 from ..ir.ast import Fun
 from ..ir.types import is_float, rank_of
-from ..opt.pipeline import optimize_fun
+from ..opt.pipeline import AD_SAFE_PASSES, optimize_fun
 from ..opt.while_bound import while_bound_fun
 from ..opt.stripmine import stripmine_fun
 from ..util import ADError
@@ -50,11 +50,19 @@ def _fun_of(f: FunLike) -> Fun:
 
 def _pre_ad(fun: Fun) -> Fun:
     """Pre-AD pipeline: simplify, bound while loops, apply strip-mining
-    annotations (the paper runs AD on an already heavily-optimised program)."""
-    fun = optimize_fun(fun)
+    annotations (the paper runs AD on an already heavily-optimised program).
+
+    Runs the AD-safe pass set only: the input may come from an
+    already-optimised ``Compiled`` whose fused redomap-shaped operators the
+    AD rules cannot differentiate — ``vjp_fun``/``jvp_fun`` unfuse their
+    input, and nothing here may re-fuse it.  The post-AD optimisation of
+    the derivative function re-fuses — the paper's "AD preserves fusion
+    opportunities" round trip.
+    """
+    fun = optimize_fun(fun, passes=AD_SAFE_PASSES)
     fun = while_bound_fun(fun)
     fun = stripmine_fun(fun)
-    return optimize_fun(fun)
+    return optimize_fun(fun, passes=AD_SAFE_PASSES)
 
 
 def _as_tuple(res) -> tuple:
@@ -65,19 +73,25 @@ def _as_tuple(res) -> tuple:
 class ADFunction(Compiled):
     """A compiled derivative function with bookkeeping about its shape."""
 
-    def __init__(self, fun: Fun, n_primal_out: int, optimize: bool = True) -> None:
-        super().__init__(fun, optimize=optimize)
+    def __init__(
+        self, fun: Fun, n_primal_out: int, optimize: bool = True, passes=None
+    ) -> None:
+        super().__init__(fun, optimize=optimize, passes=passes)
         self.n_primal_out = n_primal_out
 
 
-def vjp(f: FunLike, optimize: bool = True, acc_opt: bool = True, wrt=None) -> ADFunction:
+def vjp(
+    f: FunLike, optimize: bool = True, acc_opt: bool = True, wrt=None, passes=None
+) -> ADFunction:
     """Reverse-mode derivative.
 
     ``vjp(f)(*args, *seeds)`` returns ``(*primal_results, *adjoints)`` where
     ``seeds`` are the adjoints of ``f``'s float results and ``adjoints`` are
     the adjoints of ``f``'s float parameters.  ``acc_opt`` applies the §6.1
     accumulator→reduce/histogram rewrites (on by default, as in the paper;
-    disable for the ablation).
+    disable for the ablation).  ``passes`` selects the optimisation passes
+    applied to the *derivative* program (the pre-AD pipeline always runs the
+    AD-safe set).
     """
     fun = _pre_ad(_fun_of(f))
     out = vjp_fun(fun, wrt=wrt)
@@ -85,20 +99,20 @@ def vjp(f: FunLike, optimize: bool = True, acc_opt: bool = True, wrt=None) -> AD
         from ..opt.acc_opt import acc_opt_fun
 
         out = acc_opt_fun(out)
-    return ADFunction(out, len(fun.body.result), optimize=optimize)
+    return ADFunction(out, len(fun.body.result), optimize=optimize, passes=passes)
 
 
-def jvp(f: FunLike, optimize: bool = True) -> ADFunction:
+def jvp(f: FunLike, optimize: bool = True, passes=None) -> ADFunction:
     """Forward-mode derivative.
 
     ``jvp(f)(*args, *tangents)`` returns ``(*primal_results, *tangent_results)``.
     """
     fun = _pre_ad(_fun_of(f))
     out = jvp_fun(fun)
-    return ADFunction(out, len(fun.body.result), optimize=optimize)
+    return ADFunction(out, len(fun.body.result), optimize=optimize, passes=passes)
 
 
-def grad(f: FunLike, optimize: bool = True, wrt=None) -> Callable:
+def grad(f: FunLike, optimize: bool = True, wrt=None, passes=None) -> Callable:
     """Gradient of a scalar-valued function: ``grad(f)(*args)`` returns the
     adjoints of the (``wrt``-selected) float parameters."""
     fun = _fun_of(f)
@@ -106,7 +120,7 @@ def grad(f: FunLike, optimize: bool = True, wrt=None) -> Callable:
     r0 = fun.body.result[0].type
     if n_res != 1 or not is_float(r0) or rank_of(r0) != 0:
         raise ADError("grad: function must return a single float scalar")
-    g = vjp(f, optimize=optimize, wrt=wrt)
+    g = vjp(f, optimize=optimize, wrt=wrt, passes=passes)
 
     def run(*args, backend: str = "vec"):
         res = _as_tuple(g(*args, 1.0, backend=backend))
@@ -117,13 +131,13 @@ def grad(f: FunLike, optimize: bool = True, wrt=None) -> Callable:
     return run
 
 
-def value_and_grad(f: FunLike, optimize: bool = True, wrt=None) -> Callable:
+def value_and_grad(f: FunLike, optimize: bool = True, wrt=None, passes=None) -> Callable:
     """Like ``grad`` but also returns the primal value."""
     fun = _fun_of(f)
     r0 = fun.body.result[0].type
     if len(fun.body.result) != 1 or not is_float(r0) or rank_of(r0) != 0:
         raise ADError("value_and_grad: function must return a single float scalar")
-    g = vjp(f, optimize=optimize, wrt=wrt)
+    g = vjp(f, optimize=optimize, wrt=wrt, passes=passes)
 
     def run(*args, backend: str = "vec"):
         # Normalise exactly as ``grad`` does: ``Compiled`` unwraps singleton
@@ -229,8 +243,11 @@ def hessian_diag(f: FunLike, wrt: int = 0) -> Callable:
     from ..opt.acc_opt import acc_opt_fun
 
     gradf = vjp_fun(fun, wrt=[wrt])  # (params..., seed) -> (y, xbar)
-    gradf = acc_opt_fun(optimize_fun(gradf))
-    hof = jvp_fun(optimize_fun(gradf))
+    # AD-safe passes only: ``gradf`` is differentiated again below, so the
+    # fusion pass (whose redomap shapes the jvp rules cannot handle) must
+    # not run until the final ADFunction compilation.
+    gradf = acc_opt_fun(optimize_fun(gradf, passes=AD_SAFE_PASSES))
+    hof = jvp_fun(optimize_fun(gradf, passes=AD_SAFE_PASSES))
     compiled = ADFunction(hof, len(gradf.body.result))
 
     # Derive (and check) the tangent ordering from the actual parameter

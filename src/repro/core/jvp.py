@@ -531,7 +531,14 @@ class _JVP:
 
 def jvp_fun(fun: Fun, check: bool = True) -> Fun:
     """Forward-mode transform: params gain tangent seeds for every float
-    parameter; results gain tangents of every float result."""
+    parameter; results gain tangents of every float result.
+
+    The input is unfused first: the reduce/scan/hist rules assume canonical
+    associative operators, not the fusion engine's redomap shapes.
+    """
+    from ..opt.fusion import unfuse_fun
+
+    fun = unfuse_fun(fun)
     j = _JVP()
     dparams = []
     for p in fun.params:

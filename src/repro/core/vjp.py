@@ -335,7 +335,13 @@ def vjp_fun(fun: Fun, check: bool = True, wrt=None) -> Fun:
     with the primal results (Fig. 1c returns them too).  ``wrt`` optionally
     restricts which parameters (by index) receive adjoints; the others are
     treated as non-differentiable data (their adjoint code is never built).
+
+    The input is unfused first: the reduce/scan/hist rules assume canonical
+    associative operators, not the fusion engine's redomap shapes.
     """
+    from ..opt.fusion import unfuse_fun
+
+    fun = unfuse_fun(fun)
     nodiff = set()
     if wrt is not None:
         wanted = set(wrt)

@@ -13,10 +13,17 @@ register file.  All compile-time-decidable work happens at lowering time:
 
 * atoms resolve to register slots (variables) or prebuilt batched constants;
 * operator tables (``apply_unop``/``apply_binop``), cast dtypes, and the
-  specialisable reduce/scan/histogram operators (``recognize_binop_lambda``)
-  are resolved statically;
+  specialisable reduce/scan/histogram operators (``recognize_binop_lambda``,
+  plus the fusion engine's redomap shapes via
+  ``recognize_redomap_lambda`` — fused reductions bulk-map their element
+  function and finish with the same ufunc fast path) are resolved
+  statically;
 * lambda bodies of SOACs and control flow are recursively compiled, so
-  nested scopes execute with zero dispatch as well.
+  nested scopes execute with zero dispatch as well;
+* runs of ≥2 adjacent scalar statements collapse into one fused closure
+  whose intermediates stay in closure-local storage — one dispatch and no
+  register-file round-trips per run interior (counted in
+  ``plan_cache_stats()["fused_stms"]``).
 
 Runtime semantics are *identical* to the vectorised interpreter — plans reuse
 its ``BV`` batched-value representation, masking discipline, and helper
@@ -32,12 +39,13 @@ keyed by ``(id(fun), arg shape/dtype signature, batched flags)`` — the
 "(fun, backend, signature)" key of the design, with the backend implicit
 because this module *is* the plan backend.  Keying by object identity is
 sound because the cache holds a strong reference to each keyed ``Fun``
-(entries are immutable; ids cannot be recycled).  Repeat calls on
-same-shaped arguments therefore skip tracing, optimisation, and lowering
-entirely; ``PLAN_STATS`` counts hits/misses so callers can assert cache
-behaviour.  Invalidation is only needed to bound memory: ``clear_plan_cache``
-drops every entry (plans are derived purely from immutable ``Fun`` values,
-so entries never go stale).
+(entries are immutable; ids cannot be recycled while their entries live).
+Repeat calls on same-shaped arguments therefore skip tracing, optimisation,
+and lowering entirely; ``PLAN_STATS`` counts hits/misses/evictions and
+fused-statement totals so callers can assert cache behaviour.  The cache is
+an LRU bounded by ``REPRO_PLAN_CACHE_SIZE`` entries (default 512, ``0``
+unbounded); ``clear_plan_cache`` drops everything eagerly (plans are derived
+purely from immutable ``Fun`` values, so entries never go stale).
 
 Batched seeds
 -------------
@@ -53,7 +61,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..ir.analysis import recognize_binop_lambda
+from ..ir.analysis import recognize_binop_lambda, recognize_redomap_lambda
 from ..ir.ast import (
     AtomExp,
     Atom,
@@ -78,6 +86,7 @@ from ..ir.ast import (
     ScratchLike,
     Select,
     Size,
+    Stm,
     UnOp,
     UpdAcc,
     Update,
@@ -86,8 +95,9 @@ from ..ir.ast import (
     WithAcc,
     ZerosLike,
 )
+from ..ir.traversal import free_vars_exp
 from ..ir.types import np_dtype
-from ..util import ExecError
+from ..util import BoundedLRU, ExecError, env_capacity
 from . import values as _values
 from .prims import apply_binop, apply_unop, cast_to
 from .values import coerce_arg
@@ -103,6 +113,7 @@ from .vector import (
     _gather,
     _grids,
     _mask_where,
+    _ne_is_identity,
     _neutral_of,
     _uniform_int,
     _where,
@@ -160,16 +171,29 @@ def _map_args_rt(eng: _Engine, readers) -> Tuple[List[BV], int]:
 # ---------------------------------------------------------------------------
 
 
+#: Statement expressions eligible for scalar-run fusion: pure, single-result,
+#: independent of the engine's mask/batch state (they only read operands).
+_RUN_FUSIBLE = (AtomExp, UnOp, BinOp, Select, Cast, Index, ZerosLike)
+
+
 class _PlanCompiler:
     """One-shot lowering of a ``Fun`` body to instruction closures.
 
     All SSA names in a program are globally unique, so a single flat slot
     space serves every scope (exactly the flat-environment invariant the
     interpreters rely on).
+
+    Runs of ≥2 adjacent scalar statements (``_RUN_FUSIBLE``) collapse into
+    one fused closure: intra-run temporaries live in a closure-local list
+    and only values consumed outside the run are written back to the
+    register file — fewer instruction dispatches and register round-trips
+    on the scalar-heavy bodies AD emits.  ``self.fused`` counts statements
+    so collapsed (surfaced via ``plan_cache_stats``).
     """
 
     def __init__(self) -> None:
         self.slots: Dict[str, int] = {}
+        self.fused = 0
 
     def slot(self, name: str) -> int:
         s = self.slots.get(name)
@@ -205,94 +229,170 @@ class _PlanCompiler:
     # -- bodies ---------------------------------------------------------------
 
     def compile_body(self, body: Body):
+        stms = body.stms
+        n = len(stms)
+        # Find the fusible runs first, then compute each run's live-after
+        # set with ONE backward free-vars sweep over the body (walking the
+        # whole tail per run would make lowering quadratic in body size).
+        spans = []
+        i = 0
+        while i < n:
+            if isinstance(stms[i].exp, _RUN_FUSIBLE) and len(stms[i].pat) == 1:
+                j = i
+                while (
+                    j < n
+                    and isinstance(stms[j].exp, _RUN_FUSIBLE)
+                    and len(stms[j].pat) == 1
+                ):
+                    j += 1
+                if j - i >= 2:
+                    spans.append((i, j))
+                    i = j
+                    continue
+            i += 1
+        used_after_at = {}
+        if spans:
+            ends = {j for _, j in spans}
+            live = {a.name for a in body.result if isinstance(a, Var)}
+            if n in ends:
+                used_after_at[n] = frozenset(live)
+            for k in range(n - 1, -1, -1):
+                live.update(free_vars_exp(stms[k].exp))
+                if k in ends:
+                    used_after_at[k] = frozenset(live)
         instrs = []
-        for stm in body.stms:
-            fn, multi = self.compile_exp(stm.exp)
-            if multi:
-                slots = tuple(self.slot(v.name) for v in stm.pat)
-
-                def ins(eng, _fn=fn, _slots=slots):
-                    vals = _fn(eng)
-                    if len(vals) != len(_slots):
-                        raise ExecError(
-                            f"statement binds {len(_slots)} vars, got {len(vals)}"
-                        )
-                    regs = eng.regs
-                    for s, v in zip(_slots, vals):
-                        regs[s] = v
-
-            else:
-                if len(stm.pat) != 1:
-                    raise ExecError("statement binds multiple vars, got 1 value")
-                s0 = self.slot(stm.pat[0].name)
-
-                def ins(eng, _fn=fn, _s=s0):
-                    eng.regs[_s] = _fn(eng)
-
-            instrs.append(ins)
+        span_at = {i: j for i, j in spans}
+        i = 0
+        while i < n:
+            j = span_at.get(i)
+            if j is not None:
+                instrs.append(self._compile_run(stms[i:j], used_after_at[j]))
+                self.fused += j - i
+                i = j
+                continue
+            instrs.append(self._compile_stm(stms[i]))
+            i += 1
         res = tuple(self.reader(r) for r in body.result)
         return tuple(instrs), res
+
+    def _compile_stm(self, stm: Stm):
+        fn, multi = self.compile_exp(stm.exp)
+        if multi:
+            slots = tuple(self.slot(v.name) for v in stm.pat)
+
+            def ins(eng, _fn=fn, _slots=slots):
+                vals = _fn(eng)
+                if len(vals) != len(_slots):
+                    raise ExecError(
+                        f"statement binds {len(_slots)} vars, got {len(vals)}"
+                    )
+                regs = eng.regs
+                for s, v in zip(_slots, vals):
+                    regs[s] = v
+
+        else:
+            if len(stm.pat) != 1:
+                raise ExecError("statement binds multiple vars, got 1 value")
+            s0 = self.slot(stm.pat[0].name)
+
+            def ins(eng, _fn=fn, _s=s0):
+                eng.regs[_s] = _fn(eng)
+
+        return ins
+
+    # -- fused scalar runs ----------------------------------------------------
+
+    def _run_reader(self, a: Atom, local_of: Dict[str, int]) -> Callable:
+        """A ``(regs, loc) -> BV`` accessor: run-local values read from the
+        closure-local list, everything else from the register file."""
+        if isinstance(a, Var) and a.name in local_of:
+            idx = local_of[a.name]
+            return lambda regs, loc, _i=idx: loc[_i]
+        base = self.reader(a)
+        return lambda regs, loc, _b=base: _b(regs)
+
+    def _compile_run_exp(self, e: Exp, local_of: Dict[str, int]) -> Callable:
+        rd = lambda a: self._run_reader(a, local_of)  # noqa: E731
+        if isinstance(e, AtomExp):
+            return rd(e.x)
+        if isinstance(e, UnOp):
+            rx = rd(e.x)
+            op = e.op
+            return lambda regs, loc, _rx=rx, _op=op: _elem(
+                lambda d: apply_unop(_op, d), _rx(regs, loc)
+            )
+        if isinstance(e, BinOp):
+            rx, ry = rd(e.x), rd(e.y)
+            op = e.op
+            return lambda regs, loc, _rx=rx, _ry=ry, _op=op: _elem(
+                lambda a, b: apply_binop(_op, a, b), _rx(regs, loc), _ry(regs, loc)
+            )
+        if isinstance(e, Select):
+            rc, rt, rf = rd(e.c), rd(e.t), rd(e.f)
+            return lambda regs, loc, _rc=rc, _rt=rt, _rf=rf: _where(
+                _rc(regs, loc), _rt(regs, loc), _rf(regs, loc)
+            )
+        if isinstance(e, Cast):
+            rx = rd(e.x)
+            dt = np_dtype(e.to)
+
+            def cast_fn(regs, loc, _rx=rx, _dt=dt):
+                v = _rx(regs, loc)
+                return BV(cast_to(v.data, _dt), v.bdims)
+
+            return cast_fn
+        if isinstance(e, Index):
+            ra = rd(e.arr)
+            ris = tuple(rd(i) for i in e.idx)
+            return lambda regs, loc, _ra=ra, _ris=ris: _gather(
+                _ra(regs, loc), [r(regs, loc) for r in _ris]
+            )
+        if isinstance(e, ZerosLike):
+            rx = rd(e.x)
+
+            def zl_fn(regs, loc, _rx=rx):
+                v = _rx(regs, loc)
+                return BV(np.zeros_like(np.asarray(v.data)), v.bdims)
+
+            return zl_fn
+        raise ExecError(f"plan run compile: unexpected {type(e).__name__}")
+
+    def _compile_run(self, run, used_after):
+        """One fused closure for a run of adjacent scalar statements.
+
+        ``used_after`` is the set of names live after the run (computed by
+        ``compile_body``'s backward sweep); only those escape to the
+        register file, everything else stays in run-local temporaries."""
+        local_of: Dict[str, int] = {}
+        ops = []
+        exports = []
+        for idx, s in enumerate(run):
+            ops.append(self._compile_run_exp(s.exp, local_of))
+            name = s.pat[0].name
+            local_of[name] = idx
+            if name in used_after:
+                exports.append((idx, self.slot(name)))
+        k = len(run)
+
+        def ins(eng, _ops=tuple(ops), _exports=tuple(exports), _k=k):
+            regs = eng.regs
+            loc = [None] * _k
+            for x, op in enumerate(_ops):
+                loc[x] = op(regs, loc)
+            for li, s in _exports:
+                regs[s] = loc[li]
+
+        return ins
 
     # -- expressions ----------------------------------------------------------
 
     def compile_exp(self, e: Exp):
         """Lower one expression; returns ``(closure, is_multi_result)``."""
-        if isinstance(e, AtomExp):
-            rd = self.reader(e.x)
-            return (lambda eng, _rd=rd: _rd(eng.regs)), False
-
-        if isinstance(e, UnOp):
-            rd = self.reader(e.x)
-            op = e.op
-
-            def fn(eng, _rd=rd, _op=op):
-                return _elem(lambda d: apply_unop(_op, d), _rd(eng.regs))
-
-            return fn, False
-
-        if isinstance(e, BinOp):
-            rx = self.reader(e.x)
-            ry = self.reader(e.y)
-            op = e.op
-
-            def fn(eng, _rx=rx, _ry=ry, _op=op):
-                regs = eng.regs
-                return _elem(
-                    lambda a, b: apply_binop(_op, a, b), _rx(regs), _ry(regs)
-                )
-
-            return fn, False
-
-        if isinstance(e, Select):
-            rc = self.reader(e.c)
-            rt = self.reader(e.t)
-            rf = self.reader(e.f)
-
-            def fn(eng, _rc=rc, _rt=rt, _rf=rf):
-                regs = eng.regs
-                return _where(_rc(regs), _rt(regs), _rf(regs))
-
-            return fn, False
-
-        if isinstance(e, Cast):
-            rd = self.reader(e.x)
-            dt = np_dtype(e.to)
-
-            def fn(eng, _rd=rd, _dt=dt):
-                v = _rd(eng.regs)
-                return BV(cast_to(v.data, _dt), v.bdims)
-
-            return fn, False
-
-        if isinstance(e, Index):
-            ra = self.reader(e.arr)
-            ris = tuple(self.reader(i) for i in e.idx)
-
-            def fn(eng, _ra=ra, _ris=ris):
-                regs = eng.regs
-                return _gather(_ra(regs), [r(regs) for r in _ris])
-
-            return fn, False
+        if isinstance(e, _RUN_FUSIBLE):
+            # One shared set of scalar handlers: a standalone scalar
+            # statement is a fused run of length 1 with no locals.
+            op = self._compile_run_exp(e, {})
+            return (lambda eng, _op=op: _op(eng.regs, ())), False
 
         if isinstance(e, Update):
             return self._compile_update(e), False
@@ -317,15 +417,6 @@ class _PlanCompiler:
                 d2 = np.expand_dims(d, axis=v.bdims)
                 shape = d.shape[: v.bdims] + (n,) + d.shape[v.bdims:]
                 return BV(np.broadcast_to(d2, shape).copy(), v.bdims)
-
-            return fn, False
-
-        if isinstance(e, ZerosLike):
-            rd = self.reader(e.x)
-
-            def fn(eng, _rd=rd):
-                v = _rd(eng.regs)
-                return BV(np.zeros_like(np.asarray(v.data)), v.bdims)
 
             return fn, False
 
@@ -475,8 +566,9 @@ class _PlanCompiler:
         op = recognize_binop_lambda(e.lam) if len(e.nes) == 1 else None
         if op is not None:
             ufunc = _UFUNC[op]
+            fold = not _ne_is_identity(op, e.nes[0])
 
-            def fast(eng, _arrs=arr_rds, _ne=ne_rds[0], _uf=ufunc):
+            def fast(eng, _arrs=arr_rds, _ne=ne_rds[0], _uf=ufunc, _fold=fold):
                 d = len(eng.bstack)
                 args, _n = _map_args_rt(eng, _arrs)
                 data = np.asarray(args[0].data)
@@ -484,9 +576,35 @@ class _PlanCompiler:
                     nd = _expand(_ne(eng.regs), d)
                     shape = data.shape[:d] + data.shape[d + 1:]
                     return (BV(np.broadcast_to(nd, shape).copy(), d),)
-                return (BV(_uf.reduce(data, axis=d), d),)
+                red = _uf.reduce(data, axis=d)
+                if _fold:
+                    red = _uf(_expand(_ne(eng.regs), d), red)
+                return (BV(red, d),)
 
             return fast
+        rm = recognize_redomap_lambda(e.lam) if len(e.nes) == 1 else None
+        if rm is not None:
+            # Fused (redomap-shaped) operator: bulk-map the element function,
+            # then reduce with the ufunc — fusion keeps the fast path.
+            mop, mlam = rm
+            ufunc = _UFUNC[mop]
+            fold = not _ne_is_identity(mop, e.nes[0])
+            mp = self._compile_map_part(mlam)
+
+            def fused(eng, _arrs=arr_rds, _ne=ne_rds[0], _mp=mp, _uf=ufunc, _fold=fold):
+                d = len(eng.bstack)
+                args, n = _map_args_rt(eng, _arrs)
+                if n == 0:
+                    nd = _expand(_ne(eng.regs), d)
+                    bshape = tuple(eng.bstack)
+                    return (BV(np.broadcast_to(nd, bshape + nd.shape[d:]).copy(), d),)
+                data = _mp(eng, args, n)
+                red = _uf.reduce(data, axis=d)
+                if _fold:
+                    red = _uf(_expand(_ne(eng.regs), d), red)
+                return (BV(red, d),)
+
+            return fused
         pslots = tuple(self.slot(p.name) for p in e.lam.params)
         code = self.compile_body(e.lam.body)
 
@@ -504,20 +622,71 @@ class _PlanCompiler:
 
         return fn
 
+    def _compile_map_part(self, mlam) -> Callable:
+        """Compile a redomap map part; returns ``(eng, batched_args, n) ->
+        ndarray`` yielding the mapped payload with extent ``n`` on the
+        current batch axis."""
+        pslots = tuple(self.slot(p.name) for p in mlam.params)
+        code = self.compile_body(mlam.body)
+
+        def run(eng, args, n, _ps=pslots, _code=code):
+            d = len(eng.bstack)
+            regs = eng.regs
+            for s, v in zip(_ps, args):
+                regs[s] = v
+            eng.bstack.append(n)
+            try:
+                (r,) = _run_body(eng, _code)
+            finally:
+                eng.bstack.pop()
+            rd = _expand(r, d + 1)
+            if rd.shape[d] != n:
+                rd = np.broadcast_to(rd, rd.shape[:d] + (n,) + rd.shape[d + 1:])
+            return rd
+
+        return run
+
     def _compile_scan(self, e: Scan) -> Callable:
         arr_rds = tuple(self.reader(a) for a in e.arrs)
         ne_rds = tuple(self.reader(ne) for ne in e.nes)
         op = recognize_binop_lambda(e.lam) if len(e.nes) == 1 else None
         if op is not None:
             ufunc = _UFUNC[op]
+            fold = not _ne_is_identity(op, e.nes[0])
 
-            def fast(eng, _arrs=arr_rds, _uf=ufunc):
+            def fast(eng, _arrs=arr_rds, _ne=ne_rds[0], _uf=ufunc, _fold=fold):
                 d = len(eng.bstack)
                 args, _n = _map_args_rt(eng, _arrs)
                 data = np.asarray(args[0].data)
-                return (BV(_uf.accumulate(data, axis=d), d),)
+                acc = _uf.accumulate(data, axis=d)
+                if _fold:
+                    nd = np.expand_dims(_expand(_ne(eng.regs), d), axis=d)
+                    acc = _uf(nd, acc)
+                return (BV(acc, d),)
 
             return fast
+        rm = recognize_redomap_lambda(e.lam) if len(e.nes) == 1 else None
+        if rm is not None:
+            mop, mlam = rm
+            ufunc = _UFUNC[mop]
+            fold = not _ne_is_identity(mop, e.nes[0])
+            mp = self._compile_map_part(mlam)
+
+            def fused(eng, _arrs=arr_rds, _mp=mp, _uf=ufunc, _nes=ne_rds, _fold=fold):
+                d = len(eng.bstack)
+                args, n = _map_args_rt(eng, _arrs)
+                if n == 0:
+                    ne = _nes[0](eng.regs)
+                    dt = np.asarray(ne.data).dtype
+                    return (BV(np.zeros((0,) * (ne.prank + 1), dtype=dt), 0),)
+                data = _mp(eng, args, n)
+                acc = _uf.accumulate(data, axis=d)
+                if _fold:
+                    nd = np.expand_dims(_expand(_nes[0](eng.regs), d), axis=d)
+                    acc = _uf(nd, acc)
+                return (BV(acc, d),)
+
+            return fused
         pslots = tuple(self.slot(p.name) for p in e.lam.params)
         code = self.compile_body(e.lam.body)
 
@@ -588,6 +757,45 @@ class _PlanCompiler:
                 return (BV(hist, d),)
 
             return fast
+        redomap = recognize_redomap_lambda(e.lam) if len(e.nes) == 1 else None
+        if redomap is not None:
+            mop, mlam = redomap
+            ufunc = _UFUNC[mop]
+            mp = self._compile_map_part(mlam)
+
+            def fused(eng, _rm=rm, _arrs=arr_rds, _ne=ne_rds[0], _mp=mp, _uf=ufunc, _mop=mop):
+                d = len(eng.bstack)
+                m = _rm(eng)
+                args, n = _map_args_rt(eng, _arrs)
+                inds, vals = args[0], list(args[1:])
+                bshape = tuple(eng.bstack)
+                idata = np.broadcast_to(np.asarray(inds.data), bshape + (n,))
+                valid = (idata >= 0) & (idata < m)
+                if eng.mask is not None:
+                    md = _expand(eng.mask, d)
+                    md = np.broadcast_to(
+                        md.reshape(md.shape + (1,) * (valid.ndim - md.ndim)),
+                        valid.shape,
+                    )
+                    valid = valid & md
+                data = _mp(eng, vals, n)
+                pe = data.shape[d + 1:]
+                dt = data.dtype
+                ne = _ne(eng.regs)
+                hist = np.ascontiguousarray(
+                    np.broadcast_to(
+                        np.expand_dims(_expand(ne, d), axis=d), bshape + (m,) + pe
+                    ).astype(dt)
+                )
+                neutral = _neutral_of(_mop, dt)
+                vdata = np.broadcast_to(data, bshape + (n,) + pe)
+                w = valid.reshape(valid.shape + (1,) * (vdata.ndim - valid.ndim))
+                contrib = np.where(w, vdata, neutral)
+                isel = _grids(bshape, extra=1) + (np.clip(idata, 0, max(m - 1, 0)),)
+                _uf.at(hist, isel, contrib)
+                return (BV(hist, d),)
+
+            return fused
         pslots = tuple(self.slot(p.name) for p in e.lam.params)
         code = self.compile_body(e.lam.body)
 
@@ -848,9 +1056,15 @@ class Plan:
         self.param_types = tuple(p.type for p in fun.params)
         self.code = c.compile_body(fun.body)
         self.nslots = len(c.slots)
+        #: Statements collapsed into fused scalar-run closures (recursive).
+        self.fused_stms = c.fused
+        PLAN_STATS["fused_stms"] += c.fused
 
     def __repr__(self) -> str:
-        return f"<Plan {self.fun.name}: {len(self.code[0])} instrs, {self.nslots} slots>"
+        return (
+            f"<Plan {self.fun.name}: {len(self.code[0])} instrs, "
+            f"{self.nslots} slots, {self.fused_stms} fused>"
+        )
 
     def run(self, args: Sequence[object]) -> Tuple[object, ...]:
         if len(args) != len(self.param_slots):
@@ -924,10 +1138,14 @@ def compile_plan(fun: Fun) -> Plan:
 # Plan cache
 # ---------------------------------------------------------------------------
 
-#: Hit/miss counters for the module-level plan cache (reset on clear).
-PLAN_STATS = {"hits": 0, "misses": 0}
+#: Counters for the module-level plan cache (reset on clear): cache
+#: ``hits``/``misses``/``evictions`` plus ``fused_stms``, the total number of
+#: scalar statements collapsed into fused run closures across all lowerings.
+PLAN_STATS = {"hits": 0, "misses": 0, "evictions": 0, "fused_stms": 0}
 
-_CACHE: Dict[tuple, Plan] = {}
+_CACHE = BoundedLRU()
+
+_DEFAULT_CACHE_SIZE = 512
 
 
 def _sig_of(args: Sequence[object]) -> tuple:
@@ -945,15 +1163,19 @@ def plan_for(
 
     The cache key is ``(id(fun), signature, batched-flags)``; the cached
     ``Plan`` holds a strong reference to its ``fun``, so keyed ids cannot be
-    recycled.  Use ``clear_plan_cache`` to bound memory; entries never go
-    stale otherwise (``Fun`` is immutable).
+    recycled while their entries live.  The cache is an LRU bounded by
+    ``REPRO_PLAN_CACHE_SIZE`` entries (default 512, ``0`` unbounded) so
+    long sessions over many functions/signatures cannot leak plans without
+    bound; evictions are counted in ``plan_cache_stats``.  Entries never go
+    stale (``Fun`` is immutable); ``clear_plan_cache`` drops everything.
     """
     key = (id(fun), _sig_of(args), tuple(batched) if batched is not None else None)
     plan = _CACHE.get(key)
     if plan is None:
         PLAN_STATS["misses"] += 1
         plan = Plan(fun)
-        _CACHE[key] = plan
+        cap = env_capacity("REPRO_PLAN_CACHE_SIZE", _DEFAULT_CACHE_SIZE)
+        PLAN_STATS["evictions"] += _CACHE.put(key, plan, cap)
     else:
         PLAN_STATS["hits"] += 1
     return plan
@@ -965,10 +1187,10 @@ def plan_cache_stats() -> Dict[str, int]:
 
 
 def clear_plan_cache() -> None:
-    """Drop every cached plan and reset the hit/miss counters."""
+    """Drop every cached plan and reset all counters."""
     _CACHE.clear()
-    PLAN_STATS["hits"] = 0
-    PLAN_STATS["misses"] = 0
+    for k in PLAN_STATS:
+        PLAN_STATS[k] = 0
 
 
 def run_fun_plan(fun: Fun, args: Sequence[object]) -> Tuple[object, ...]:

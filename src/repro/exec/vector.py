@@ -30,7 +30,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..ir.analysis import recognize_binop_lambda
+from ..ir.analysis import recognize_binop_lambda, recognize_redomap_lambda
 from ..ir.ast import (
     AtomExp,
     Atom,
@@ -83,6 +83,25 @@ def _neutral_of(op: str, dt: np.dtype):
         return dt.type(np.inf if op == "min" else -np.inf)
     info = np.iinfo(dt)
     return dt.type(info.max if op == "min" else info.min)
+
+
+_OP_IDENTITY = {"add": 0.0, "mul": 1.0, "min": np.inf, "max": -np.inf}
+
+
+def _ne_is_identity(op: str, ne) -> bool:
+    """True when a syntactic neutral-element atom is provably the identity
+    of ``op`` — the fast reduce/scan paths may then skip folding it in.
+    A left fold from ``ne`` equals ``ne `op` fold-from-identity`` for the
+    specialisable (associative) ops, so non-identity neutral elements are
+    handled by one extra combine rather than falling off the fast path."""
+    from ..ir.ast import Const
+
+    if not isinstance(ne, Const):
+        return False
+    try:
+        return float(ne.value) == _OP_IDENTITY[op]
+    except (TypeError, ValueError):
+        return False
 
 
 @dataclass
@@ -459,6 +478,23 @@ class VecInterp:
             out.append(BV(np.ascontiguousarray(rd), d))
         return tuple(out)
 
+    def _bulk_map(self, lam, args: List[BV], n: int, env) -> np.ndarray:
+        """Run a (single-result, acc-free) lambda as a bulk map over batched
+        element arguments; returns the mapped payload with extent ``n`` on
+        the current batch axis.  Shared by the redomap fast paths."""
+        d = len(self.bstack)
+        for p, v in zip(lam.params, args):
+            env[p.name] = v
+        self.bstack.append(n)
+        try:
+            (r,) = self.eval_body(lam.body, env)
+        finally:
+            self.bstack.pop()
+        rd = _expand(r, d + 1)
+        if rd.shape[d] != n:
+            rd = np.broadcast_to(rd, rd.shape[:d] + (n,) + rd.shape[d + 1:])
+        return rd
+
     def _eval_reduce(self, e: Reduce, env) -> Tuple[object, ...]:
         d = len(self.bstack)
         args, n = self._map_args(e.arrs, env)
@@ -470,7 +506,25 @@ class VecInterp:
                 nd = _expand(ne, d)
                 shape = data.shape[:d] + data.shape[d + 1:]
                 return (BV(np.broadcast_to(nd, shape).copy(), d),)
-            return (BV(_UFUNC[op].reduce(data, axis=d), d),)
+            red = _UFUNC[op].reduce(data, axis=d)
+            if not _ne_is_identity(op, e.nes[0]):
+                red = _UFUNC[op](_expand(self.atom(e.nes[0], env), d), red)
+            return (BV(red, d),)
+        # Fused (redomap-shaped) operator: bulk-map the element function,
+        # then reduce with the recognised ufunc — fusion keeps the fast path.
+        rm = recognize_redomap_lambda(e.lam) if len(e.nes) == 1 else None
+        if rm is not None:
+            mop, mlam = rm
+            if n == 0:
+                ne = self.atom(e.nes[0], env)
+                nd = _expand(ne, d)
+                bshape = tuple(self.bstack)
+                return (BV(np.broadcast_to(nd, bshape + nd.shape[d:]).copy(), d),)
+            data = self._bulk_map(mlam, args, n, env)
+            red = _UFUNC[mop].reduce(data, axis=d)
+            if not _ne_is_identity(mop, e.nes[0]):
+                red = _UFUNC[mop](_expand(self.atom(e.nes[0], env), d), red)
+            return (BV(red, d),)
         # General fold: sequential over the reduced axis, batched over lanes.
         acc = [self.atom(ne, env) for ne in e.nes]
         for i in range(n):
@@ -486,7 +540,20 @@ class VecInterp:
         op = recognize_binop_lambda(e.lam) if len(e.nes) == 1 else None
         if op is not None:
             data = np.asarray(args[0].data)
-            return (BV(_UFUNC[op].accumulate(data, axis=d), d),)
+            acc = _UFUNC[op].accumulate(data, axis=d)
+            if not _ne_is_identity(op, e.nes[0]):
+                nd = np.expand_dims(_expand(self.atom(e.nes[0], env), d), axis=d)
+                acc = _UFUNC[op](nd, acc)
+            return (BV(acc, d),)
+        rm = recognize_redomap_lambda(e.lam) if len(e.nes) == 1 else None
+        if rm is not None and n > 0:
+            mop, mlam = rm
+            data = self._bulk_map(mlam, args, n, env)
+            acc = _UFUNC[mop].accumulate(data, axis=d)
+            if not _ne_is_identity(mop, e.nes[0]):
+                nd = np.expand_dims(_expand(self.atom(e.nes[0], env), d), axis=d)
+                acc = _UFUNC[mop](nd, acc)
+            return (BV(acc, d),)
         acc = [self.atom(ne, env) for ne in e.nes]
         cols: List[List[np.ndarray]] = [[] for _ in e.nes]
         for i in range(n):
@@ -539,6 +606,26 @@ class VecInterp:
             w = valid.reshape(valid.shape + (1,) * (vdata.ndim - valid.ndim))
             contrib = np.where(w, vdata, neutral)
             _UFUNC[op].at(hist, isel, contrib)
+            return (BV(hist, d),)
+        # Fused (redomap-shaped) operator: bulk-map the contribution function
+        # over the value arrays, then scatter-accumulate with the ufunc.
+        rm = recognize_redomap_lambda(e.lam) if len(e.nes) == 1 else None
+        if rm is not None:
+            mop, mlam = rm
+            data = self._bulk_map(mlam, vals, n, env)
+            pe = data.shape[d + 1:]
+            dt = data.dtype
+            ne = self.atom(e.nes[0], env)
+            hist = np.ascontiguousarray(
+                np.broadcast_to(
+                    np.expand_dims(_expand(ne, d), axis=d), bshape + (m,) + pe
+                ).astype(dt)
+            )
+            neutral = _neutral_of(mop, dt)
+            vdata = np.broadcast_to(data, bshape + (n,) + pe)
+            w = valid.reshape(valid.shape + (1,) * (vdata.ndim - valid.ndim))
+            contrib = np.where(w, vdata, neutral)
+            _UFUNC[mop].at(hist, isel, contrib)
             return (BV(hist, d),)
         # General path: sequential over elements, batched over lanes.
         hists = []

@@ -45,13 +45,23 @@ class Compiled:
     ``backend="ref"`` the reference interpreter; ``backend="plan"`` the
     cached plan compiler.  ``cost()`` measures the cost-model counters of a
     run (reference interpretation).
+
+    ``passes`` selects the optimisation passes applied at construction (a
+    sequence of registered pass names — see ``opt.pipeline``); None means
+    the default set, overridable via the ``REPRO_OPT_PASSES`` environment
+    variable.
     """
 
-    def __init__(self, fun: Fun, optimize: bool = True) -> None:
+    def __init__(
+        self,
+        fun: Fun,
+        optimize: bool = True,
+        passes: "Sequence[str] | None" = None,
+    ) -> None:
         if optimize:
             from ..opt.pipeline import optimize_fun
 
-            fun = optimize_fun(fun)
+            fun = optimize_fun(fun, passes=passes)
         self.fun = fun
 
     @property
@@ -105,5 +115,7 @@ class Compiled:
         return rec.snapshot()
 
 
-def compile_fun(fun: Fun, optimize: bool = True) -> Compiled:
-    return Compiled(fun, optimize=optimize)
+def compile_fun(
+    fun: Fun, optimize: bool = True, passes: "Sequence[str] | None" = None
+) -> Compiled:
+    return Compiled(fun, optimize=optimize, passes=passes)

@@ -4,8 +4,14 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 from .ast import AtomExp, BinOp, Body, Const, Lambda, Map, Stm, Var
+from ..util import BoundedLRU, env_capacity
 
-__all__ = ["recognize_binop_lambda", "recognize_addition", "perfect_map_nest"]
+__all__ = [
+    "recognize_binop_lambda",
+    "recognize_addition",
+    "recognize_redomap_lambda",
+    "perfect_map_nest",
+]
 
 
 def recognize_binop_lambda(lam: Lambda) -> Optional[str]:
@@ -49,6 +55,90 @@ def recognize_binop_lambda(lam: Lambda) -> Optional[str]:
 
 def recognize_addition(lam: Lambda) -> bool:
     return recognize_binop_lambda(lam) == "add"
+
+
+#: Memo for ``recognize_redomap_lambda``: the vectorised interpreter re-walks
+#: the IR on every call (recognition per reduce/scan/hist evaluation, which
+#: for reduces inside loops means once per iteration), and the analysis —
+#: free-variable sets per statement — is not cheap.  Keyed by ``id`` with the
+#: lambda kept alive (ids cannot recycle while entries live); an LRU bounded
+#: by ``REPRO_ANALYSIS_CACHE_SIZE`` like the optimisation/plan caches.
+_REDOMAP_MEMO = BoundedLRU()
+_REDOMAP_MEMO_CAP = 4096
+
+
+def recognize_redomap_lambda(lam: Lambda) -> Optional[Tuple[str, Lambda]]:
+    """Decompose ``\\acc x.. -> acc `op` g(x..)`` into ``(op, g)``.
+
+    This is the *redomap* shape the fusion engine produces when a ``map`` is
+    fused into a single-operand ``reduce``/``scan``/``reduce_by_index``: a
+    prefix of statements computing ``g`` of the element parameters, combined
+    with the accumulator by one specialisable binop.  Executors use it to
+    keep fused reductions on the bulk fast path (bulk-map ``g``, then
+    ``ufunc.reduce``/``accumulate``/``at``), and ``opt.fusion.unfuse_fun``
+    uses it to split fused reductions back into ``map`` + canonical operator
+    before the AD rules (which assume associative operators) run.
+
+    Returns ``None`` unless the accumulator parameter (``lam.params[0]``)
+    feeds *exactly* the final combine.  ``g`` is returned as a ``Lambda``
+    over the element parameters (``lam.params[1:]``).
+    """
+    hit = _REDOMAP_MEMO.get(id(lam))
+    if hit is not None and hit[0] is lam:
+        return hit[1]
+    res = _recognize_redomap(lam)
+    cap = env_capacity("REPRO_ANALYSIS_CACHE_SIZE", _REDOMAP_MEMO_CAP)
+    _REDOMAP_MEMO.put(id(lam), (lam, res), cap)
+    return res
+
+
+def _recognize_redomap(lam: Lambda) -> Optional[Tuple[str, Lambda]]:
+    if len(lam.params) < 2 or len(lam.body.result) != 1:
+        return None
+    acc = lam.params[0]
+    body = lam.body
+    defs = {}
+    for stm in body.stms:
+        if len(stm.pat) != 1:
+            return None
+        defs[stm.pat[0].name] = stm.exp
+    # Unwind trailing copies from the result down to the combine binop.
+    chain = set()
+    cur = body.result[0]
+    exp = None
+    while isinstance(cur, Var) and cur.name in defs and cur.name not in chain:
+        chain.add(cur.name)
+        e = defs[cur.name]
+        if isinstance(e, AtomExp):
+            cur = e.x
+            continue
+        exp = e
+        break
+    if not isinstance(exp, BinOp) or exp.op not in ("add", "mul", "min", "max"):
+        return None
+    if isinstance(exp.x, Var) and exp.x.name == acc.name:
+        v = exp.y
+    elif isinstance(exp.y, Var) and exp.y.name == acc.name:
+        v = exp.x
+    else:
+        return None
+    if isinstance(v, Var) and v.name == acc.name:  # acc `op` acc is not a map
+        return None
+    # The map part is everything outside the combine chain; it must neither
+    # read the accumulator nor the combine's results.
+    from .traversal import free_vars_exp
+
+    forbidden = chain | {acc.name}
+    map_stms = []
+    for stm in body.stms:
+        if stm.pat[0].name in chain:
+            if not isinstance(stm.exp, (AtomExp, BinOp)):
+                return None
+            continue
+        if forbidden & set(free_vars_exp(stm.exp)):
+            return None
+        map_stms.append(stm)
+    return exp.op, Lambda(tuple(lam.params[1:]), Body(tuple(map_stms), (v,)))
 
 
 def perfect_map_nest(exp) -> Tuple[Tuple[Map, ...], Body]:

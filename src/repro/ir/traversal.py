@@ -60,8 +60,10 @@ __all__ = [
     "refresh_body",
     "refresh_lambda",
     "rename_var",
+    "inline_lambda",
     "map_stms",
     "count_stms",
+    "count_soacs",
     "all_bound_vars",
 ]
 
@@ -415,6 +417,23 @@ def refresh_lambda(lam: Lambda) -> Lambda:
     return Lambda(new_params, refresh_body(lam.body, m))
 
 
+def inline_lambda(lam: Lambda, args: Iterable[Atom]) -> Body:
+    """The body of ``lam`` with every binder refreshed and each parameter
+    bound to the corresponding atom of ``args``.
+
+    This is beta-reduction for our syntactic lambdas — the workhorse of the
+    fusion engine, which splices producer bodies into consumer element
+    functions.  Refreshing keeps the spliced copy SSA-unique even when the
+    same lambda is inlined more than once.
+    """
+    args = tuple(args)
+    if len(args) != len(lam.params):
+        raise ValueError(
+            f"inline_lambda: {len(lam.params)} parameters, {len(args)} arguments"
+        )
+    return refresh_body(lam.body, {p.name: a for p, a in zip(lam.params, args)})
+
+
 # ---------------------------------------------------------------------------
 # Misc structural helpers
 # ---------------------------------------------------------------------------
@@ -452,6 +471,29 @@ def count_stms_exp(e: Exp) -> int:
         n += count_stms(e.body)
     elif isinstance(e, If):
         n += count_stms(e.then) + count_stms(e.els)
+    return n
+
+
+def count_soacs(node) -> int:
+    """Total number of SOAC statements (map/reduce/scan/hist/scatter) in a
+    node, recursively — the fusion engine's progress metric."""
+    if isinstance(node, Fun):
+        return count_soacs(node.body)
+    if isinstance(node, Lambda):
+        return count_soacs(node.body)
+    if not isinstance(node, Body):
+        raise TypeError(type(node).__name__)
+    n = 0
+    for stm in node.stms:
+        e = stm.exp
+        if isinstance(e, (Map, Reduce, Scan, ReduceByIndex, Scatter)):
+            n += 1
+        for lam in exp_lambdas(e):
+            n += count_soacs(lam.body)
+        if isinstance(e, (Loop, WhileLoop)):
+            n += count_soacs(e.body)
+        elif isinstance(e, If):
+            n += count_soacs(e.then) + count_soacs(e.els)
     return n
 
 

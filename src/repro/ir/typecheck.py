@@ -237,24 +237,33 @@ def infer_exp_types(e: Exp) -> Tuple[Type, ...]:
         return tuple(out)
 
     if isinstance(e, (Reduce, Scan)):
+        # Canonical operators are (k+k) -> k over k arrays whose element
+        # types equal the neutral elements.  The fusion engine additionally
+        # produces *redomap* shapes: m element arrays (m need not equal k)
+        # with a (k+m) -> k lambda whose element parameters are typed by the
+        # arrays and whose accumulators/results are typed by the neutral
+        # elements (the map part is folded into the operator).
         k = len(e.nes)
+        m = len(e.arrs)
         lam = e.lam
-        if len(e.arrs) != k:
-            raise TypeError_("reduce/scan: #arrays must equal #neutral elements")
-        if len(lam.params) != 2 * k or len(lam.body.result) != k:
+        if m == 0:
+            raise TypeError_("reduce/scan: needs at least one array argument")
+        if len(lam.params) != k + m or len(lam.body.result) != k:
             raise TypeError_(
-                f"reduce/scan: operator must be ({k}+{k}) -> {k}, got "
+                f"reduce/scan: operator must be ({k}+{m}) -> {k}, got "
                 f"{len(lam.params)} -> {len(lam.body.result)}"
             )
-        for i, (ne, v) in enumerate(zip(e.nes, e.arrs)):
+        for i, ne in enumerate(e.nes):
+            nt = _ty(ne)
+            if lam.params[i].type != nt:
+                raise TypeError_(f"reduce/scan: accumulator param {i} type mismatch")
+            if lam.body.result[i].type != nt:
+                raise TypeError_(f"reduce/scan: operator result {i} type mismatch")
+        for j, v in enumerate(e.arrs):
             elem, rank = _elem_of_array(v, "reduce/scan")
             et = with_rank(elem, rank - 1)
-            if _ty(ne) != et:
-                raise TypeError_(f"reduce/scan: neutral element {i} type {_ty(ne)} != {et}")
-            if lam.params[i].type != et or lam.params[k + i].type != et:
-                raise TypeError_(f"reduce/scan: operator param {i} type mismatch")
-            if lam.body.result[i].type != et:
-                raise TypeError_(f"reduce/scan: operator result {i} type mismatch")
+            if lam.params[k + j].type != et:
+                raise TypeError_(f"reduce/scan: element param {j} type mismatch")
         if isinstance(e, Reduce):
             return tuple(_ty(ne) for ne in e.nes)
         return tuple(with_rank(elem_type(_ty(ne)), rank_of(_ty(ne)) + 1) for ne in e.nes)
@@ -265,13 +274,22 @@ def infer_exp_types(e: Exp) -> Tuple[Type, ...]:
         _elem_of_array(e.inds, "reduce_by_index")
         if not is_integral(_ty(e.inds)):
             raise TypeError_("reduce_by_index: indices must be integral")
+        # Like reduce/scan, the operator is (k+m) -> k: canonical hists have
+        # m == k value arrays typed like the neutral elements; fused
+        # (redomap-shaped) hists may draw their contributions from m
+        # producer input arrays instead.
         k = len(e.nes)
-        if len(e.vals) != k or len(e.lam.params) != 2 * k or len(e.lam.body.result) != k:
+        m = len(e.vals)
+        if m == 0 or len(e.lam.params) != k + m or len(e.lam.body.result) != k:
             raise TypeError_("reduce_by_index: operator arity mismatch")
-        for ne, v in zip(e.nes, e.vals):
-            elem, rank = _elem_of_array(v, "reduce_by_index")
-            if _ty(ne) != with_rank(elem, rank - 1):
+        for i, ne in enumerate(e.nes):
+            nt = _ty(ne)
+            if e.lam.params[i].type != nt or e.lam.body.result[i].type != nt:
                 raise TypeError_("reduce_by_index: neutral element type mismatch")
+        for j, v in enumerate(e.vals):
+            elem, rank = _elem_of_array(v, "reduce_by_index")
+            if e.lam.params[k + j].type != with_rank(elem, rank - 1):
+                raise TypeError_("reduce_by_index: value element type mismatch")
         return tuple(with_rank(elem_type(_ty(ne)), rank_of(_ty(ne)) + 1) for ne in e.nes)
 
     if isinstance(e, Scatter):

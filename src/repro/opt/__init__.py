@@ -1,3 +1,12 @@
 """Optimisation passes over the IR (simplify, DCE, CSE, fusion, acc-opt,
-strip-mining, while-bounding)."""
-from .pipeline import optimize_fun  # noqa: F401
+strip-mining, while-bounding), organised as a registry of named passes with
+a fixed-point driver — see ``pipeline``."""
+from .pipeline import (  # noqa: F401
+    AD_SAFE_PASSES,
+    clear_opt_cache,
+    opt_stats,
+    optimize_fun,
+    register_pass,
+    registered_passes,
+    reset_opt_stats,
+)

@@ -517,13 +517,20 @@ def _opt_body(body: Body) -> Body:
 
 def acc_opt_fun(fun: Fun, rounds: int = 6) -> Fun:
     """Apply the accumulator rewrites to a fixed point, simplifying between
-    rounds so newly-exposed patterns fire."""
-    from .pipeline import optimize_fun
+    rounds so newly-exposed patterns fire.
+
+    Only the AD-safe passes run between rounds: acc_opt output may be
+    differentiated again (``hessian_diag``'s jvp-of-vjp), and the fusion
+    pass's redomap shapes would break both the chain recognition here and
+    the AD rules downstream.  Callers that only execute the result fuse it
+    at ``Compiled`` construction instead.
+    """
+    from .pipeline import AD_SAFE_PASSES, optimize_fun
 
     for _ in range(rounds):
         prev = fun
         fun = Fun(fun.name, fun.params, _opt_body(fun.body))
-        fun = optimize_fun(fun)
+        fun = optimize_fun(fun, passes=AD_SAFE_PASSES)
         if fun == prev:
             break
     return fun

@@ -1,8 +1,10 @@
-"""Small shared utilities: fresh-name supply and error types."""
+"""Small shared utilities: fresh-name supply, error types, bounded LRU."""
 from __future__ import annotations
 
 import itertools
+import os
 import threading
+from collections import OrderedDict
 
 __all__ = [
     "ReproError",
@@ -13,6 +15,8 @@ __all__ = [
     "NameSupply",
     "fresh",
     "reset_names",
+    "BoundedLRU",
+    "env_capacity",
 ]
 
 
@@ -63,6 +67,52 @@ _GLOBAL_SUPPLY = NameSupply()
 def fresh(base: str = "t") -> str:
     """Return a globally fresh name derived from ``base``."""
     return _GLOBAL_SUPPLY.fresh(base)
+
+
+class BoundedLRU:
+    """An access-ordered mapping bounded to a capacity supplied at put time.
+
+    Shared by the optimisation memo and the plan cache: both key immutable
+    values by object identity (holding strong references so ids cannot be
+    recycled while entries live) and bound growth with an env-configured
+    capacity read per call, so the two stay behaviourally identical.
+    """
+
+    def __init__(self) -> None:
+        self._d: "OrderedDict[object, object]" = OrderedDict()
+
+    def get(self, key):
+        """The stored value (refreshed as most-recent), or None."""
+        v = self._d.get(key)
+        if v is not None:
+            self._d.move_to_end(key)
+        return v
+
+    def put(self, key, value, capacity: int) -> int:
+        """Store ``key``; evict least-recent entries beyond ``capacity``
+        (``capacity <= 0`` means unbounded).  Returns the eviction count."""
+        self._d[key] = value
+        self._d.move_to_end(key)
+        n = 0
+        if capacity > 0:
+            while len(self._d) > capacity:
+                self._d.popitem(last=False)
+                n += 1
+        return n
+
+    def __len__(self) -> int:
+        return len(self._d)
+
+    def clear(self) -> None:
+        self._d.clear()
+
+
+def env_capacity(var: str, default: int) -> int:
+    """An integer cache capacity from the environment (read at call time)."""
+    try:
+        return int(os.environ.get(var, default))
+    except ValueError:
+        return default
 
 
 def reset_names() -> None:

@@ -38,3 +38,23 @@ def test_bench_module_imports(mod):
 def test_common_exposes_plan_backend_wiring():
     common = importlib.import_module("common")
     assert common.BENCH_BACKEND in ("plan", "vec", "ref")
+
+
+def test_opt_stats_shape_for_bench_ablations():
+    """The A5 fusion ablation keys off the pass registry and ``opt_stats``;
+    make sure the counters exist, cover every registered pass, and move when
+    the pipeline runs."""
+    import numpy as np
+
+    import repro as rp
+    from repro.opt.pipeline import opt_stats, optimize_fun
+
+    st = opt_stats()
+    assert {"passes", "cache", "enabled"} <= set(st)
+    assert {"simplify", "cse", "fuse", "dce"} <= set(st["passes"])
+    for c in st["passes"].values():
+        assert {"fired", "changed"} <= set(c)
+    before = st["passes"]["fuse"]["fired"]
+    fun = rp.trace_like(lambda xs: rp.sum(rp.map(lambda x: x * 2.0, xs)), (np.ones(3),))
+    optimize_fun(fun, cache=False)
+    assert opt_stats()["passes"]["fuse"]["fired"] > before

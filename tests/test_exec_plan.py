@@ -231,3 +231,74 @@ def test_batched_plan_jacobian_speedup_over_looped_vec():
         f"batched-plan {t_plan*1e3:.1f} ms, speedup {speedup:.1f}x"
     )
     assert speedup >= 3.0, f"batched plan jacobian only {speedup:.2f}x faster"
+
+
+# ---------------------------------------------------------------------------
+# Scalar-run fusion and cache bounding (PR 2)
+# ---------------------------------------------------------------------------
+
+
+def test_plan_fuses_scalar_runs_and_counts_them():
+    def f(x, y):
+        a = x * 2.0
+        b = rp.sin(a) + y
+        c = rp.where(b > 0.0, b, a)
+        return c * c + 1.0
+
+    fun = rp.trace_like(f, (1.0, 1.0))
+    clear_plan_cache()
+    fc = rp.compile(fun)
+    out = fc(0.3, -0.2, backend="plan")
+    np.testing.assert_allclose(out, fc(0.3, -0.2, backend="ref"))
+    st = plan_cache_stats()
+    assert st["fused_stms"] >= 2, st
+    clear_plan_cache()
+
+
+def test_plan_fused_runs_inside_map_lambdas():
+    def f(xs):
+        return rp.map(lambda x: rp.tanh(x * 2.0 + 1.0) * x, xs)
+
+    fun = rp.trace_like(f, (np.ones(8),))
+    clear_plan_cache()
+    fc = rp.compile(fun)
+    xs = rng.standard_normal(8)
+    run_both(fc, xs)
+    assert plan_cache_stats()["fused_stms"] > 0
+    clear_plan_cache()
+
+
+def test_plan_cache_lru_eviction(monkeypatch):
+    monkeypatch.setenv("REPRO_PLAN_CACHE_SIZE", "2")
+    clear_plan_cache()
+
+    def f(xs):
+        return rp.sum(xs) * 2.0
+
+    fc = rp.compile(rp.trace_like(f, (np.ones(4),)))
+    for n in (3, 4, 5, 6):  # four distinct shape signatures
+        fc(np.ones(n), backend="plan")
+    st = plan_cache_stats()
+    assert st["entries"] <= 2
+    assert st["evictions"] >= 2
+    # Evicted signatures re-lower on demand and still run correctly.
+    np.testing.assert_allclose(fc(np.ones(3), backend="plan"), 6.0)
+    clear_plan_cache()
+
+
+def test_plan_cache_lru_keeps_recently_used(monkeypatch):
+    monkeypatch.setenv("REPRO_PLAN_CACHE_SIZE", "2")
+    clear_plan_cache()
+
+    def f(xs):
+        return rp.sum(xs)
+
+    fc = rp.compile(rp.trace_like(f, (np.ones(4),)))
+    fc(np.ones(3), backend="plan")  # miss: sig 3
+    fc(np.ones(4), backend="plan")  # miss: sig 4
+    fc(np.ones(3), backend="plan")  # hit: sig 3 -> most recent
+    fc(np.ones(5), backend="plan")  # miss: evicts sig 4, not sig 3
+    before = plan_cache_stats()["hits"]
+    fc(np.ones(3), backend="plan")  # still cached
+    assert plan_cache_stats()["hits"] == before + 1
+    clear_plan_cache()

@@ -1,0 +1,351 @@
+"""Fusion-engine and pass-framework tests.
+
+Golden tests assert post-fusion SOAC statement counts per case (map→map,
+map→reduce, map→scan, map→hist, horizontal), parity runs check every fused
+program on ref/vec/plan (via ``tests/helpers.py``) including a slice of the
+fuzz corpus, and the GMM acceptance check asserts the post-AD gradient
+program carries measurably fewer SOACs with fusion on than off.
+"""
+import numpy as np
+import pytest
+
+import repro as rp
+from helpers import check_grad, run_both
+from repro.frontend.function import Compiled
+from repro.ir import check_fun, count_soacs, pretty
+from repro.ir.analysis import recognize_redomap_lambda
+from repro.opt.fusion import fuse_fun, unfuse_fun
+from repro.opt.pipeline import (
+    AD_SAFE_PASSES,
+    clear_opt_cache,
+    opt_stats,
+    optimize_fun,
+    registered_passes,
+    resolve_passes,
+)
+
+rng = np.random.default_rng(11)
+
+
+def _trace(f, *args):
+    return rp.trace_like(f, args)
+
+
+# ---------------------------------------------------------------------------
+# Golden structure tests: one fused SOAC per case
+# ---------------------------------------------------------------------------
+
+
+def test_fuse_map_map_golden():
+    def f(xs):
+        ys = rp.map(lambda x: x * 2.0, xs)
+        return rp.map(lambda y: y + 1.0, ys)
+
+    fun = _trace(f, np.ones(5))
+    fz = optimize_fun(fun)
+    check_fun(fz)
+    assert count_soacs(fz) == 1
+    run_both(rp.compile(fun), rng.standard_normal(5))
+
+
+def test_fuse_map_reduce_golden():
+    def f(xs, ys):
+        zs = rp.map(lambda x, y: rp.sin(x) * y, xs, ys)
+        return rp.sum(zs)
+
+    fun = _trace(f, np.ones(6), np.ones(6))
+    fz = optimize_fun(fun)
+    check_fun(fz)
+    assert count_soacs(fz) == 1
+    txt = pretty(fz)
+    assert "reduce" in txt and "map (" not in txt
+    run_both(rp.compile(fun), rng.standard_normal(6), rng.standard_normal(6))
+
+
+def test_fuse_map_scan_golden():
+    def f(xs):
+        ys = rp.map(lambda x: x * x + 0.5, xs)
+        return rp.scan(lambda a, b: a + b, 0.0, ys)
+
+    fun = _trace(f, np.ones(7))
+    fz = optimize_fun(fun)
+    check_fun(fz)
+    assert count_soacs(fz) == 1
+    assert "scan" in pretty(fz)
+    run_both(rp.compile(fun), rng.standard_normal(7))
+
+
+def test_fuse_map_hist_golden():
+    def f(xs, inds):
+        vs = rp.map(lambda x: x * 3.0 + 1.0, xs)
+        return rp.reduce_by_index(4, lambda a, b: a + b, 0.0, inds, vs)
+
+    inds = np.array([0, 1, 1, 3, 2, 0], dtype=np.int64)
+    fun = _trace(f, np.ones(6), inds)
+    fz = optimize_fun(fun)
+    check_fun(fz)
+    assert count_soacs(fz) == 1
+    assert "reduce_by_index" in pretty(fz)
+    run_both(rp.compile(fun), rng.standard_normal(6), inds)
+
+
+def test_fuse_horizontal_golden():
+    def f(xs):
+        ys = rp.map(lambda x: x * 2.0, xs)
+        zs = rp.map(lambda x: x + 3.0, xs)
+        # Multiple consumers of each map block vertical fusion; the two
+        # sibling maps over ``xs`` merge horizontally instead.
+        return rp.sum(ys) + rp.sum(zs) + ys[0] * zs[0]
+
+    fun = _trace(f, np.ones(5))
+    fz = optimize_fun(fun)
+    check_fun(fz)
+    assert pretty(fz).count("map (") == 1
+    run_both(rp.compile(fun), rng.standard_normal(5))
+
+
+def test_fusion_respects_multi_consumer_maps():
+    def f(xs):
+        ys = rp.map(lambda x: x * 2.0, xs)
+        zs = rp.map(lambda y: y + 1.0, ys)
+        return rp.sum(zs) + ys[0]
+
+    fun = _trace(f, np.ones(5))
+    fz = optimize_fun(fun)
+    check_fun(fz)
+    # ys has two consumers, so the ys-producing map must survive.
+    assert "map (" in pretty(fz)
+    run_both(rp.compile(fun), rng.standard_normal(5))
+
+
+# ---------------------------------------------------------------------------
+# Redomap round trip: recognition, unfuse, AD through fused programs
+# ---------------------------------------------------------------------------
+
+
+def test_redomap_recognized_and_unfused():
+    def f(xs):
+        return rp.sum(rp.map(lambda x: rp.tanh(x) * 2.0, xs))
+
+    fz = optimize_fun(_trace(f, np.ones(4)))
+    (stm,) = fz.body.stms
+    rm = recognize_redomap_lambda(stm.exp.lam)
+    assert rm is not None and rm[0] == "add"
+    uf = unfuse_fun(fz)
+    check_fun(uf)
+    assert count_soacs(uf) == 2  # map + canonical reduce
+    xs = rng.standard_normal(4)
+    np.testing.assert_allclose(
+        Compiled(fz, optimize=False)(xs), Compiled(uf, optimize=False)(xs)
+    )
+
+
+def test_unfuse_is_identity_on_canonical_ops():
+    def f(xs):
+        return rp.reduce(lambda a, b: rp.minimum(a + b, 1e300), 0.0, xs)
+
+    fun = optimize_fun(_trace(f, np.ones(4)), passes=AD_SAFE_PASSES)
+    assert unfuse_fun(fun) == fun
+
+
+def test_grad_through_fused_compiled():
+    # vjp of a Compiled whose .fun is already fused must unfuse before AD.
+    def f(xs, ys):
+        zs = rp.map(lambda x, y: x * y + rp.sin(x), xs, ys)
+        return rp.sum(zs)
+
+    args = (rng.standard_normal(6), rng.standard_normal(6))
+    fc = rp.compile(rp.trace_like(f, args))
+    assert "map (" not in pretty(fc.fun)  # fused
+    check_grad(f, args)
+
+
+def test_hessian_diag_through_fused():
+    def f(xs):
+        return rp.sum(rp.map(lambda x: x * x * x, xs))
+
+    fc = rp.compile(_trace(f, np.ones(5)))
+    h = rp.hessian_diag(fc)
+    xs = rng.standard_normal(5)
+    for be in ("ref", "vec", "plan"):
+        np.testing.assert_allclose(h(xs, backend=be), 6.0 * xs, rtol=1e-9)
+
+
+def test_fused_scan_and_hist_gradients():
+    def f(xs):
+        s = rp.scan(lambda a, b: a + b, 0.0, rp.map(lambda x: x * 2.0, xs))
+        return rp.sum(rp.map(lambda v: rp.tanh(v), s))
+
+    args = (rng.standard_normal(5) * 0.5,)
+    check_grad(f, args)
+
+
+# ---------------------------------------------------------------------------
+# Fuzz-corpus parity on fused programs
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [3, 17, 4242, 90210])
+def test_fuzz_corpus_fused_parity(seed):
+    from test_fuzz_programs import _gen_program
+
+    prog = _gen_program(seed)
+    xs = np.random.default_rng(seed).standard_normal(7) * 0.8
+    fc = rp.compile(rp.trace_like(prog, (xs,)))
+    run_both(fc, xs)
+    g = rp.grad(fc)
+    ref = g(xs, backend="ref")
+    for be in ("vec", "plan"):
+        np.testing.assert_allclose(g(xs, backend=be), ref, rtol=1e-9, atol=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# Pass framework: registry, env override, stats, cache bounds
+# ---------------------------------------------------------------------------
+
+
+def test_registry_and_resolve():
+    names = [p.name for p in registered_passes()]
+    assert names == ["simplify", "cse", "fuse", "dce"]
+    assert [p.name for p in resolve_passes(["dce", "simplify"])] == ["simplify", "dce"]
+    with pytest.raises(ValueError):
+        resolve_passes(["nope"])
+
+
+def test_env_override_disables_fusion(monkeypatch):
+    def f(xs):
+        return rp.sum(rp.map(lambda x: x * 2.0, xs))
+
+    fun = _trace(f, np.ones(4))
+    monkeypatch.setenv("REPRO_OPT_PASSES", "-fuse")
+    off = optimize_fun(fun, cache=False)
+    monkeypatch.setenv("REPRO_OPT_PASSES", "simplify,cse,fuse,dce")
+    on = optimize_fun(fun, cache=False)
+    assert count_soacs(on) < count_soacs(off)
+    monkeypatch.setenv("REPRO_OPT_PASSES", "none")
+    assert optimize_fun(fun, cache=False) == fun
+
+
+def test_opt_stats_counters():
+    def f(x):
+        return x * 1.0 + 0.0
+
+    before = opt_stats()["passes"]["simplify"]["fired"]
+    optimize_fun(_trace(f, 1.0), cache=False)
+    after = opt_stats()
+    assert after["passes"]["simplify"]["fired"] > before
+    assert set(after["passes"]) == {"simplify", "cse", "fuse", "dce"}
+    assert {"hits", "misses", "evictions", "entries"} <= set(after["cache"])
+
+
+def test_opt_cache_lru_eviction(monkeypatch):
+    monkeypatch.setenv("REPRO_OPT_CACHE_SIZE", "2")
+    clear_opt_cache()
+    evicted0 = opt_stats()["cache"]["evictions"]
+    funs = [_trace(lambda x, _k=k: x * float(_k + 2), 1.0) for k in range(4)]
+    for fn in funs:
+        optimize_fun(fn)
+    st = opt_stats()["cache"]
+    assert st["entries"] <= 2
+    assert st["evictions"] > evicted0
+    clear_opt_cache()
+
+
+def test_opt_cache_identity_guard():
+    clear_opt_cache()
+    fun = _trace(lambda x: x * 2.0 + 1.0, 1.0)
+    o1 = optimize_fun(fun)
+    assert optimize_fun(fun) is o1  # memoised
+    clear_opt_cache()
+
+
+# ---------------------------------------------------------------------------
+# GMM acceptance: fewer SOACs with fusion on, results agree
+# ---------------------------------------------------------------------------
+
+
+def test_gmm_gradient_fewer_soacs_with_fusion():
+    from repro.apps import datagen, gmm
+
+    n, d, K = 1000, 64, 200  # Table 5 D0 — structural only, nothing executed
+    fun = gmm.build_ir(n, d, K)
+    g_on = rp.vjp(rp.compile(fun), wrt=[0, 1, 2])
+    g_off = rp.vjp(
+        rp.compile(fun, passes=AD_SAFE_PASSES), wrt=[0, 1, 2], passes=AD_SAFE_PASSES
+    )
+    s_on, s_off = count_soacs(g_on.fun), count_soacs(g_off.fun)
+    assert s_on < s_off, (s_on, s_off)
+
+    # Numerically identical gradients at an executable size, every backend.
+    n, d, K = 24, 3, 4
+    args = datagen.gmm_instance(n, d, K, 1)[:4]
+    fun = gmm.build_ir(n, d, K)
+    g_on = rp.vjp(rp.compile(fun), wrt=[0, 1, 2])
+    g_off = rp.vjp(
+        rp.compile(fun, passes=AD_SAFE_PASSES), wrt=[0, 1, 2], passes=AD_SAFE_PASSES
+    )
+    seeds = args + (1.0,)
+    ref = g_off(*seeds, backend="ref")
+    for be in ("ref", "vec", "plan"):
+        out = g_on(*seeds, backend=be)
+        for a, b in zip(ref, out):
+            np.testing.assert_allclose(
+                np.asarray(a), np.asarray(b), rtol=1e-8, atol=1e-10
+            )
+
+
+# ---------------------------------------------------------------------------
+# Non-identity neutral elements must survive the fast paths (review fix)
+# ---------------------------------------------------------------------------
+
+
+def test_reduce_nonidentity_ne_all_backends():
+    def f(xs):
+        return rp.reduce(lambda a, b: a + rp.tanh(b), 5.0, xs)  # redomap shape
+
+    def g(xs):
+        return rp.reduce(lambda a, b: a + b, 7.0, xs)  # canonical binop
+
+    def h(xs):
+        return rp.reduce(lambda a, b: rp.minimum(a, b), -3.0, xs)  # min, ne not inf
+
+    xs = rng.standard_normal(6)
+    for fn, expect in (
+        (f, 5.0 + np.tanh(xs).sum()),
+        (g, 7.0 + xs.sum()),
+        (h, min(-3.0, xs.min())),
+    ):
+        fc = rp.compile(rp.trace_like(fn, (xs,)))
+        for be in ("ref", "vec", "plan"):
+            np.testing.assert_allclose(fc(xs, backend=be), expect, rtol=1e-12)
+        run_both(fc, xs)
+
+
+def test_scan_nonidentity_ne_all_backends():
+    def f(xs):
+        return rp.scan(lambda a, b: a + b, 4.0, xs)  # canonical, ne != 0
+
+    def g(xs):
+        ys = rp.map(lambda x: x * 2.0, xs)
+        return rp.scan(lambda a, b: a + b, 4.0, ys)  # fuses to redomap scan
+
+    xs = rng.standard_normal(5)
+    for fn, expect in ((f, 4.0 + np.cumsum(xs)), (g, 4.0 + np.cumsum(2.0 * xs))):
+        fc = rp.compile(rp.trace_like(fn, (xs,)))
+        for be in ("ref", "vec", "plan"):
+            np.testing.assert_allclose(fc(xs, backend=be), expect, rtol=1e-12)
+
+
+def test_fused_reduce_nonidentity_ne_through_fusion():
+    # map fused INTO a reduce whose ne is not the op identity.
+    def f(xs):
+        ys = rp.map(lambda x: x * x, xs)
+        return rp.reduce(lambda a, b: a + b, 10.0, ys)
+
+    xs = rng.standard_normal(6)
+    fc = rp.compile(rp.trace_like(f, (xs,)))
+    assert count_soacs(fc.fun) == 1  # fused
+    for be in ("ref", "vec", "plan"):
+        np.testing.assert_allclose(
+            fc(xs, backend=be), 10.0 + (xs * xs).sum(), rtol=1e-12
+        )
