@@ -1,11 +1,15 @@
-"""Ablations A1–A5 (per DESIGN.md):
+"""Ablations A1–A6 (per DESIGN.md):
 
 A1  §6.1 accumulator→reduce on the matmul adjoint (the GMM/LSTM lever);
 A2  §4.3 strip-mining time–space trade-off (checkpoint memory vs re-exec);
 A3  §4.1 perfect nests ⇒ no re-execution (DCE kills the forward sweeps);
 A4  §5.1 specialised reduce rules vs the general two-scan rule;
-A5  SOAC fusion on/off on the GMM gradient (the pass-registry flag).
+A5  SOAC fusion on/off on the GMM gradient (the pass-registry flag);
+A6  shard on/off on the GMM full Jacobian (batched forward seeds as the
+    shard axis, plan backend vs the sharded executor).
 """
+import os
+
 import numpy as np
 import pytest
 
@@ -199,3 +203,67 @@ def test_ablation_a5_fusion(benchmark, fused, gmm_fusion_pair):
             ],
         )
         assert s_on < s_off
+
+
+# --- A6: sharded execution on/off ---------------------------------------------------
+
+GMM_A6 = (256, 8, 16)  # n, d, K -> K*d = 128 forward basis seeds
+
+
+@pytest.fixture(scope="module")
+def gmm_full_jacobian():
+    """The GMM full Jacobian w.r.t. the means: all K·d forward basis seeds
+    stacked on a leading batch axis (`call_batched`), which is exactly the
+    axis the shard backend partitions across workers."""
+    n, d, K = GMM_A6
+    alphas, means, icf, x = datagen.gmm_instance(n, d, K, 0)[:4]
+    fwd = rp.jvp(rp.compile(gmm.build_ir(n, d, K)))
+    m = K * d
+    seeds = np.eye(m).reshape(m, K, d)
+    zeros = (np.zeros_like(alphas), np.zeros_like(icf), np.zeros_like(x))
+
+    def jac(backend):
+        out = fwd.call_batched(
+            (alphas, means, icf, x, zeros[0], seeds, zeros[1], zeros[2]),
+            (False, False, False, False, False, True, False, False),
+            m,
+            backend=backend,
+        )
+        return np.asarray(out[-1]).reshape(m)
+
+    return jac
+
+
+@pytest.mark.parametrize("sharded_on", [False, True])
+def test_ablation_a6_shard(benchmark, sharded_on, gmm_full_jacobian, monkeypatch):
+    from repro.exec.shard import shard_stats, shutdown_shard_pool
+
+    jac = gmm_full_jacobian
+    workers = min(4, os.cpu_count() or 1)
+    monkeypatch.setenv("REPRO_SHARD_WORKERS", str(workers))
+    backend = "shard" if sharded_on else "plan"
+    benchmark(lambda: jac(backend))
+    if sharded_on:
+        np.testing.assert_allclose(jac("shard"), jac("plan"), rtol=1e-9, atol=1e-12)
+        t_plan = timeit(lambda: jac("plan"))
+        t_shard = timeit(lambda: jac("shard"))
+        st = shard_stats()
+        shutdown_shard_pool()
+        speedup = t_plan / t_shard
+        write_table(
+            "ablation_a6_shard",
+            [
+                "A6: shard on/off — GMM full Jacobian wrt means (batched fwd seeds)",
+                f"shape {GMM_A6}, {GMM_A6[1] * GMM_A6[2]} seeds: "
+                f"plan {t_plan * 1000:.1f} ms, shard {t_shard * 1000:.1f} ms "
+                f"({speedup:.2f}x, {st['workers']} {st['mode']} workers, "
+                f"cpu_count={os.cpu_count()})",
+                "the stacked seed axis is partitioned across the worker pool;",
+                "the win tracks the physical core count (>=1.5x expected at 4+",
+                "cores; a 1-core box records ~1.0x and that is the honest number).",
+            ],
+        )
+        # The >=1.5x acceptance bar only applies where the hardware can
+        # deliver it; smaller boxes record the measurement without asserting.
+        if (os.cpu_count() or 1) >= 4 and st["mode"] == "thread":
+            assert speedup >= 1.5

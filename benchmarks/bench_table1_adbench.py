@@ -141,7 +141,7 @@ LSTM_BS, LSTM_N, LSTM_D, LSTM_H = 8, 6, 10, 12
 
 
 def test_table1_dlstm_ours(benchmark):
-    (a, fc, g) = lstm_setup(LSTM_BS, LSTM_N, LSTM_D, LSTM_H)
+    (a, fc, g, fwd_raw) = lstm_setup(LSTM_BS, LSTM_N, LSTM_D, LSTM_H)
     args = a
     t_obj = timeit(fc, *args)
     benchmark(lambda: g(*args))
@@ -149,7 +149,7 @@ def test_table1_dlstm_ours(benchmark):
 
 
 def test_table1_dlstm_tape(benchmark):
-    (args, fc, g) = lstm_setup(LSTM_BS, LSTM_N, LSTM_D, LSTM_H)
+    (args, fc, g, fwd_raw) = lstm_setup(LSTM_BS, LSTM_N, LSTM_D, LSTM_H)
     xs, wx, wh, b, wy, tg = args
     obj = lambda: lstm.loss_eager(xs, wx, wh, b, wy, tg).data
     gr = eg.grad(lambda a_, b_, c_, d_: lstm.loss_eager(xs, a_, b_, c_, d_, tg))
@@ -159,35 +159,34 @@ def test_table1_dlstm_tape(benchmark):
 
 
 def test_table1_dlstm_manual(benchmark):
-    (args, fc, g) = lstm_setup(LSTM_BS, LSTM_N, LSTM_D, LSTM_H)
+    (args, fc, g, fwd_raw) = lstm_setup(LSTM_BS, LSTM_N, LSTM_D, LSTM_H)
     t_obj = timeit(lambda: lstm.loss_np(*args))
     benchmark(lambda: lstm.grad_manual(*args))
     _record("D-LSTM", "manual", timeit(lambda: lstm.grad_manual(*args)) / t_obj)
 
 
 # ---------------------------------------------------------------------------
-# HAND (simple): dense Jacobian over 3·B pose directions (forward mode)
+# HAND (simple): dense Jacobian over 3·B pose directions (forward mode;
+# ours: all 3·B basis seeds stacked on a leading batch axis and evaluated in
+# one call_batched pass — see hand.jacobian_fwd_ad)
 # ---------------------------------------------------------------------------
 
 HAND_B, HAND_V = 6, 48
 
 
-def _hand_jac_ours(fwd, theta, base, wghts, tgts):
-    for j in range(len(theta)):
-        e = np.zeros(len(theta))
-        e[j] = 1.0
-        fwd(theta, base, wghts, tgts, e, np.zeros_like(base), np.zeros_like(wghts), np.zeros_like(tgts))
+def _hand_jac_ours(fwd_raw, theta, base, wghts, tgts):
+    hand.jacobian_fwd_ad(fwd_raw, theta, base, wghts, tgts, backend=BENCH_BACKEND)
 
 
 def test_table1_hand_ours(benchmark):
-    (theta, base, wghts, tgts), fc, fwd = hand_setup(HAND_B, HAND_V)
+    (theta, base, wghts, tgts), fc, fwd_raw = hand_setup(HAND_B, HAND_V)
     t_obj = timeit(fc, theta, base, wghts, tgts)
-    benchmark(lambda: _hand_jac_ours(fwd, theta, base, wghts, tgts))
-    _record("HAND", "ours", timeit(lambda: _hand_jac_ours(fwd, theta, base, wghts, tgts)) / t_obj)
+    benchmark(lambda: _hand_jac_ours(fwd_raw, theta, base, wghts, tgts))
+    _record("HAND", "ours", timeit(lambda: _hand_jac_ours(fwd_raw, theta, base, wghts, tgts)) / t_obj)
 
 
 def test_table1_hand_tape(benchmark):
-    (theta, base, wghts, tgts), fc, fwd = hand_setup(HAND_B, HAND_V)
+    (theta, base, wghts, tgts), fc, fwd_raw = hand_setup(HAND_B, HAND_V)
     obj = lambda: hand.objective_eager(theta, base, wghts, tgts).data
     # reverse-only tape computes the scalar objective's gradient 3B times to
     # emulate a Jacobian of the residual field (column extraction).
@@ -203,7 +202,7 @@ def test_table1_hand_tape(benchmark):
 
 
 def test_table1_hand_manual(benchmark):
-    (theta, base, wghts, tgts), fc, fwd = hand_setup(HAND_B, HAND_V)
+    (theta, base, wghts, tgts), fc, fwd_raw = hand_setup(HAND_B, HAND_V)
     t_obj = timeit(lambda: hand.objective_np(theta, base, wghts, tgts))
     benchmark(lambda: hand.jacobian_manual(theta, base, wghts, tgts))
     _record("HAND", "manual", timeit(lambda: hand.jacobian_manual(theta, base, wghts, tgts)) / t_obj)

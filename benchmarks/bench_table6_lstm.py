@@ -39,7 +39,7 @@ def _record(ds, key, value):
 @pytest.mark.parametrize("ds", list(DS))
 def test_table6_ours(benchmark, ds):
     bs, n, d, h = DS[ds]
-    args, fc, g = lstm_setup(bs, n, d, h)
+    args, fc, g, fwd_raw = lstm_setup(bs, n, d, h)
     _record(ds, "ours_obj", timeit(fc, *args))
     benchmark(lambda: g(*args))
     _record(ds, "ours", timeit(lambda: g(*args)))
@@ -48,7 +48,7 @@ def test_table6_ours(benchmark, ds):
 @pytest.mark.parametrize("ds", list(DS))
 def test_table6_tape(benchmark, ds):
     bs, n, d, h = DS[ds]
-    (xs, wx, wh, b, wy, tg), fc, g = lstm_setup(bs, n, d, h)
+    (xs, wx, wh, b, wy, tg), fc, g, fwd_raw = lstm_setup(bs, n, d, h)
     obj = lambda: lstm.loss_eager(xs, wx, wh, b, wy, tg).data
     gr = eg.grad(lambda a, b_, c_, d_: lstm.loss_eager(xs, a, b_, c_, d_, tg))
     _record(ds, "tape_obj", timeit(obj))
@@ -59,6 +59,36 @@ def test_table6_tape(benchmark, ds):
 @pytest.mark.parametrize("ds", list(DS))
 def test_table6_manual(benchmark, ds):
     bs, n, d, h = DS[ds]
-    args, fc, g = lstm_setup(bs, n, d, h)
+    args, fc, g, fwd_raw = lstm_setup(bs, n, d, h)
     benchmark(lambda: lstm.grad_manual(*args))
     _record(ds, "manual", timeit(lambda: lstm.grad_manual(*args)))
+
+
+def test_table6_fwd_batched_bias_gradient(benchmark):
+    """Forward-mode d loss/d bias: all 4h basis seeds in one batched
+    call_batched pass (lstm.grad_fwd_ad) vs the per-seed jvp loop — the
+    ROADMAP's "wire LSTM onto batched jvp" item, measured."""
+    import numpy as np
+
+    from common import BENCH_BACKEND
+
+    bs, n, d, h = DS["D0"]
+    (xs, wx, wh, b, wy, tg), fc, g, fwd_raw = lstm_setup(bs, n, d, h)
+    batched = lambda: lstm.grad_fwd_ad(fwd_raw, xs, wx, wh, b, wy, tg, backend=BENCH_BACKEND)
+    looped = lambda: lstm.grad_fwd_ad(
+        fwd_raw, xs, wx, wh, b, wy, tg, backend=BENCH_BACKEND, batched=False
+    )
+    np.testing.assert_allclose(batched(), looped(), rtol=1e-9, atol=1e-12)
+    benchmark(batched)
+    t_b = timeit(batched)
+    t_l = timeit(looped)
+    write_table(
+        "table6_lstm_fwd",
+        [
+            "Table 6 (extra): LSTM d loss/d bias, forward mode over 4h seeds",
+            f"D0 {DS['D0']}: batched {t_b * 1000:.1f} ms, per-seed loop "
+            f"{t_l * 1000:.1f} ms ({t_l / t_b:.1f}x)",
+            "all basis seeds stack on one leading batch axis (call_batched);",
+            "on backend=shard that axis is partitioned across the worker pool.",
+        ],
+    )

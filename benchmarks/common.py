@@ -8,9 +8,11 @@ and records the paper's reported numbers next to ours.
 
 All "ours" rows run on the plan-compiled backend by default (lowered once,
 cached per shape signature — see ``repro.exec.plan``), which is what the
-paper's compiled-bulk-code numbers correspond to.  Set
-``REPRO_BENCH_BACKEND=vec`` (or ``ref``) to measure the interpreters
-instead.
+paper's compiled-bulk-code numbers correspond to.  ``REPRO_BENCH_BACKEND``
+selects any registered backend instead: ``vec``/``ref`` to measure the
+interpreters, ``shard`` to spread the dominant SOAC (and the batched seed
+axes) across the worker pool (``REPRO_SHARD_WORKERS``/``REPRO_SHARD_MODE``).
+Unknown names fail at import with the registered set listed.
 """
 from __future__ import annotations
 
@@ -23,12 +25,15 @@ import numpy as np
 
 import repro as rp
 from repro.apps import ba, datagen, gmm, hand, kmeans, kmeans_sparse, lstm, rsbench, xsbench
+from repro.exec.registry import get_backend
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 os.makedirs(RESULTS_DIR, exist_ok=True)
 
-#: Backend every "ours" measurement runs on (tables 1/3/5 etc.).
-BENCH_BACKEND = os.environ.get("REPRO_BENCH_BACKEND", "plan")
+#: Backend every "ours" measurement runs on (tables 1/3/5 etc.); validated
+#: through the backend registry so a typo fails loudly here, not deep in
+#: dispatch half-way through a benchmark run.
+BENCH_BACKEND = get_backend(os.environ.get("REPRO_BENCH_BACKEND", "plan")).name
 
 
 def on_bench_backend(f: Callable) -> Callable:
@@ -86,11 +91,15 @@ def kmeans_sparse_setup(rows: int, cols: int, nnz_row: int, k: int, seed: int = 
 
 @functools.lru_cache(maxsize=None)
 def lstm_setup(bs: int, n: int, d: int, h: int, seed: int = 0):
+    """Returns ``(args, loss, grad, raw jvp ADFunction)`` — the raw forward
+    function is what ``lstm.grad_fwd_ad`` drives through ``call_batched`` so
+    all 4·h bias basis seeds evaluate in one batched pass."""
     xs, wx, wh, b, wy, h0, c0, tg = datagen.lstm_instance(bs, n, d, h, seed)
     # note: datagen signature is (bs, n, d, h) -> xs is (n, bs, d)
     fc = rp.compile(lstm.build_ir(xs.shape[0], xs.shape[1], xs.shape[2], wh.shape[1]))
     g = rp.grad(fc, wrt=[1, 2, 3, 4])
-    return (xs, wx, wh, b, wy, tg), on_bench_backend(fc), on_bench_backend(g)
+    fwd = rp.jvp(fc)
+    return (xs, wx, wh, b, wy, tg), on_bench_backend(fc), on_bench_backend(g), fwd
 
 
 @functools.lru_cache(maxsize=None)
@@ -107,10 +116,13 @@ def ba_setup(n_cams: int, n_pts: int, n_obs: int, seed: int = 0):
 
 @functools.lru_cache(maxsize=None)
 def hand_setup(n_bones: int, n_verts: int, seed: int = 0):
+    """Returns ``(args, objective, raw jvp ADFunction)`` — the raw function
+    is what ``hand.jacobian_fwd_ad`` drives through ``call_batched`` so all
+    3·B pose-direction seeds evaluate in one batched pass."""
     args = datagen.hand_instance(n_bones, n_verts, seed)
     fc = rp.compile(hand.build_ir(n_bones, n_verts))
     fwd = rp.jvp(fc)
-    return args, on_bench_backend(fc), on_bench_backend(fwd)
+    return args, on_bench_backend(fc), fwd
 
 
 @functools.lru_cache(maxsize=None)

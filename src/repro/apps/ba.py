@@ -96,11 +96,11 @@ def jacobian_ad(jv, gcams, gpts, ws, feats, backend="plan", batched=None):
     weight-regulariser row ``d werr/d w = -2w`` is closed-form and omitted,
     as in the Table 1 measurement.)
     """
-    from ..frontend.function import BATCHED_BACKENDS
+    from ..exec.registry import get_backend
 
     n = gcams.shape[0]
     if batched is None:
-        batched = backend in BATCHED_BACKENDS
+        batched = get_backend(backend).batched
     if batched:
         e0 = np.zeros((2, n))
         e0[0] = 1.0

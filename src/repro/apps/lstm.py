@@ -19,7 +19,7 @@ import numpy as np
 import repro as rp
 from ..baselines import eager as eg
 
-__all__ = ["build_ir", "loss_np", "grad_manual", "loss_eager"]
+__all__ = ["build_ir", "loss_np", "grad_fwd_ad", "grad_manual", "loss_eager"]
 
 
 def build_ir(n: int, bs: int, d: int, h: int):
@@ -76,6 +76,26 @@ def build_ir(n: int, bs: int, d: int, h: int):
         ],
         name="lstm",
         arg_names=["xs", "wx", "wh", "b", "wy", "targets"],
+    )
+
+
+def grad_fwd_ad(fwd, xs, wx, wh, b, wy, targets, backend="plan", batched=None):
+    """Forward-mode gradient of the LSTM loss w.r.t. the bias, batched.
+
+    ``fwd`` is ``rp.jvp(compile(build_ir(...)))``.  The loss is scalar, so
+    forward mode needs one pass per bias entry (4·h basis directions); on
+    the batched-capable backends the whole identity basis is stacked on a
+    leading batch axis and evaluated in a *single* ``call_batched`` pass —
+    the same multi-seed shape as ``ba.jacobian_ad``/``hand.jacobian_fwd_ad``
+    — with a per-seed loop fallback for ``ref``/``batched=False``.
+
+    Returns the ``(4h,)`` bias gradient ``dL/db`` (equal, up to roundoff, to
+    the reverse-mode gradient's bias component — asserted in the tests).
+    """
+    from .seeding import identity_seed_pass
+
+    return identity_seed_pass(
+        fwd, (xs, wx, wh, b, wy, targets), 3, backend=backend, batched=batched
     )
 
 

@@ -14,12 +14,14 @@ These mirror the paper's ``jvp``/``vjp`` language constructs (§2.0.1/2.0.2):
 Batched seeds
 -------------
 
-On the bulk backends (``vec`` and ``plan``) ``jacobian`` evaluates *all*
-basis seeds in a single pass: the n (fwd) or m (rev) seed vectors are
-stacked on a leading batch axis and the derivative function runs once with
-that axis treated as one more parallel level — instead of n/m separate
-interpreter invocations.  Pass ``batched=False`` to force the per-seed loop
-(the only strategy available on the ``ref`` backend).
+On the batched-capable backends (``vec``, ``plan``, ``shard``) ``jacobian``
+evaluates *all* basis seeds in a single pass: the n (fwd) or m (rev) seed
+vectors are stacked on a leading batch axis and the derivative function runs
+once with that axis treated as one more parallel level — instead of n/m
+separate interpreter invocations.  On ``shard`` that seed axis is
+additionally partitioned across the worker pool (``exec/shard.py``).  Pass
+``batched=False`` to force the per-seed loop (the only strategy available
+on the ``ref`` backend).
 """
 from __future__ import annotations
 
@@ -27,7 +29,8 @@ from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
 
-from ..frontend.function import BATCHED_BACKENDS, Compiled, compile_fun
+from ..exec.registry import batched_backends, get_backend
+from ..frontend.function import Compiled, compile_fun
 from ..ir.ast import Fun
 from ..ir.types import is_float, rank_of
 from ..opt.pipeline import AD_SAFE_PASSES, optimize_fun
@@ -158,8 +161,10 @@ def jacobian(f: FunLike, mode: Optional[str] = None) -> Callable:
     call time — the §2 cost argument.
 
     The returned callable accepts ``backend`` and ``batched`` keywords.  On
-    the bulk backends (``vec``/``plan``) all basis seeds are evaluated in one
-    batched pass by default; ``batched=False`` forces the per-seed loop,
+    the batched-capable backends (``vec``/``plan``/``shard``) all basis
+    seeds are evaluated in one batched pass by default — on ``shard`` the
+    stacked seeds additionally become the shard axis, spreading the pass
+    across the worker pool; ``batched=False`` forces the per-seed loop,
     which is also the fallback on ``ref``.
     """
     fun = _fun_of(f)
@@ -170,17 +175,16 @@ def jacobian(f: FunLike, mode: Optional[str] = None) -> Callable:
     rev = vjp(f)
 
     def run(x, backend: str = "vec", batched: Optional[bool] = None):
+        be = get_backend(backend)  # fail early, naming the registered set
         x = np.asarray(x, dtype=np.float64)
         y = np.asarray(primal(x, backend=backend))
         n, m = x.size, y.size
         use = mode or ("fwd" if n <= m else "rev")
-        use_batched = (
-            batched if batched is not None else backend in BATCHED_BACKENDS
-        )
-        if use_batched and backend not in BATCHED_BACKENDS:
+        use_batched = batched if batched is not None else be.batched
+        if use_batched and not be.batched:
             raise ADError(
                 f"jacobian: batched seeds are not supported on backend "
-                f"{backend!r}; choose from {BATCHED_BACKENDS} or pass "
+                f"{backend!r}; choose from {batched_backends()} or pass "
                 f"batched=False"
             )
         if use == "fwd":

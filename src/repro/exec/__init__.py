@@ -1,5 +1,6 @@
 """Executors: reference interpreter, vectorised SIMT simulator, plan
-compiler (closure-compiled, cached), and the cost model."""
+compiler (closure-compiled, cached), the sharded parallel executor, and the
+cost model — all resolvable by name through the backend registry."""
 from .cost import Cost, CostRecorder  # noqa: F401
 from .interp import RefInterp, run_fun  # noqa: F401
 from .plan import (  # noqa: F401
@@ -10,6 +11,21 @@ from .plan import (  # noqa: F401
     plan_for,
     run_fun_plan,
     run_fun_plan_batched,
+)
+from .registry import (  # noqa: F401
+    Backend,
+    available_backends,
+    batched_backends,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
+from .shard import (  # noqa: F401
+    reset_shard_stats,
+    run_fun_shard,
+    run_fun_shard_batched,
+    shard_stats,
+    shutdown_shard_pool,
 )
 from .values import AccVal, coerce_arg, zeros_of  # noqa: F401
 from .vector import VecInterp, run_fun_vec, run_fun_vec_batched  # noqa: F401

@@ -34,10 +34,12 @@ and ``plan`` and asserts agreement).
 Caching
 -------
 
-``plan_for(fun, args, batched=...)`` memoises plans in a module-level cache
-keyed by ``(id(fun), arg shape/dtype signature, batched flags)`` — the
-"(fun, backend, signature)" key of the design, with the backend implicit
-because this module *is* the plan backend.  Keying by object identity is
+``plan_for(fun, args, batched=..., backend=...)`` memoises plans in a
+module-level cache keyed by ``(id(fun), backend, arg shape/dtype signature,
+batched flags)`` — the "(fun, backend, signature)" key of the design; the
+backend dimension separates entries lowered for the plan backend proper
+from those the shard executor lowers for its chunk functions, so the two
+can never collide for the same ``Fun``.  Keying by object identity is
 sound because the cache holds a strong reference to each keyed ``Fun``
 (entries are immutable; ids cannot be recycled while their entries live).
 Repeat calls on same-shaped arguments therefore skip tracing, optimisation,
@@ -1157,19 +1159,31 @@ def _sig_of(args: Sequence[object]) -> tuple:
 
 
 def plan_for(
-    fun: Fun, args: Sequence[object], batched: Optional[Sequence[bool]] = None
+    fun: Fun,
+    args: Sequence[object],
+    batched: Optional[Sequence[bool]] = None,
+    backend: str = "plan",
 ) -> Plan:
     """The cached plan for ``fun`` specialised to ``args``' shapes/dtypes.
 
-    The cache key is ``(id(fun), signature, batched-flags)``; the cached
-    ``Plan`` holds a strong reference to its ``fun``, so keyed ids cannot be
-    recycled while their entries live.  The cache is an LRU bounded by
+    The cache key is ``(id(fun), backend, signature, batched-flags)`` — the
+    ``backend`` dimension (the slot reserved since PR 1) keeps entries
+    lowered on behalf of different executors apart, so the shard backend's
+    chunk/prefix/suffix plans for a ``Fun`` can never collide with plain
+    plan-backend entries for the same object.  The cached ``Plan`` holds a
+    strong reference to its ``fun``, so keyed ids cannot be recycled while
+    their entries live.  The cache is an LRU bounded by
     ``REPRO_PLAN_CACHE_SIZE`` entries (default 512, ``0`` unbounded) so
     long sessions over many functions/signatures cannot leak plans without
     bound; evictions are counted in ``plan_cache_stats``.  Entries never go
     stale (``Fun`` is immutable); ``clear_plan_cache`` drops everything.
     """
-    key = (id(fun), _sig_of(args), tuple(batched) if batched is not None else None)
+    key = (
+        id(fun),
+        backend,
+        _sig_of(args),
+        tuple(batched) if batched is not None else None,
+    )
     plan = _CACHE.get(key)
     if plan is None:
         PLAN_STATS["misses"] += 1

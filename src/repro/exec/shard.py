@@ -1,0 +1,640 @@
+"""Sharded parallel executor — chunked plan execution on a worker pool.
+
+The plan backend (``exec/plan.py``) runs a whole program as one sequence of
+NumPy closures — fast, but single-threaded: one ufunc loop at a time.  This
+module is the multi-core layer above it, shaped after JAX's ``gmap`` split of
+one traced function into ``parallel`` over ``vectorized`` loops: the leading
+axis of the program's dominant data-parallel SOAC becomes a *parallel* loop
+over a persistent worker pool, and each chunk still executes as bulk
+*vectorized* plan code.
+
+Execution model
+---------------
+
+``run_fun_shard(fun, args)`` consults the shardability analysis
+(``ir.analysis.shard_split``, memoised per function):
+
+* **shardable** — the body splits into prefix / shard point / suffix.  The
+  prefix runs once in the parent (plan backend); the shard point's input
+  arrays are partitioned along the leading axis into worker-count-independent
+  chunks; each chunk executes the pre-lowered chunk plan on the pool; the
+  chunk results are recombined (concatenation for a ``map`` shard point, one
+  associative combine for a ``reduce``/redomap) and the suffix runs once in
+  the parent.  Chunk boundaries depend only on the extent and the env knobs —
+  *never* on the worker count — so results are identical at 1 and N workers.
+* **not shardable** (scans, data-dependent loops, scalar programs, extents
+  below ``REPRO_SHARD_MIN_CHUNK``) — falls back to the plan backend,
+  counted in ``shard_stats()["fallback_calls"]``.
+
+``run_fun_shard_batched`` shards the *batch* axis of a batched multi-seed
+call instead — no analysis needed, the axis is parallel by construction.
+This is how sharding composes with batched AD: ``jacobian``'s stacked basis
+seeds become the shard axis, so multi-seed forward/reverse passes (GMM, BA,
+HAND) spread across workers.
+
+Workers
+-------
+
+``REPRO_SHARD_WORKERS`` (default: the machine's CPU count) sizes a lazy,
+persistent pool; ``REPRO_SHARD_MODE`` selects it:
+
+* ``thread`` (default) — a ``ThreadPoolExecutor``.  Chunk inputs are
+  zero-copy NumPy views of the parent's arrays (outputs are fresh per-chunk
+  arrays the parent recombines by concatenation), and NumPy releases the
+  GIL inside the bulk ufunc loops where the time goes.  The chunk plan is
+  lowered *once* in the parent
+  (plans are shape-generic) and shared by every worker — ``Plan.run`` keeps
+  all mutable state per call, so concurrent runs are safe.
+* ``process`` — a spawn-based ``ProcessPoolExecutor`` for workloads whose
+  Python-side dispatch would serialise on the GIL.  ndarray inputs/outputs
+  travel through ``multiprocessing.shared_memory`` segments (pickled inline
+  below ``REPRO_SHARD_SHM_MIN`` bytes); each worker caches lowered plans by
+  a parent-assigned token so a function ships its IR once per call but is
+  lowered once per worker.  A pool-infrastructure failure (a broken worker,
+  spawn unavailable, an unpicklable environment) is counted in
+  ``shard_stats()["pool_errors"]`` and degrades the call — and, stickily,
+  the rest of the session — to the thread path (serial in-process when one
+  worker is configured); errors a chunk program actually raised propagate
+  unchanged.
+
+``shard_stats()`` mirrors ``plan_cache_stats()``: call/chunk/fallback/pool
+counters plus the currently-configured workers and mode;
+``reset_shard_stats()`` and ``shutdown_shard_pool()`` are the test hooks.
+"""
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import pickle
+import threading
+from concurrent.futures import (
+    BrokenExecutor,
+    CancelledError,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ir.analysis import ShardSplit, shard_split
+from ..ir.ast import Fun
+from ..util import BoundedLRU, env_capacity
+from .plan import Plan, plan_for, run_fun_plan, run_fun_plan_batched
+from .vector import _UFUNC
+
+__all__ = [
+    "run_fun_shard",
+    "run_fun_shard_batched",
+    "SHARD_STATS",
+    "shard_stats",
+    "reset_shard_stats",
+    "shard_workers",
+    "shard_mode",
+    "shutdown_shard_pool",
+]
+
+
+# ---------------------------------------------------------------------------
+# Configuration (read per call so tests/benchmarks can flip env vars)
+# ---------------------------------------------------------------------------
+
+
+def shard_workers() -> int:
+    """Worker-pool size: ``REPRO_SHARD_WORKERS`` or the CPU count."""
+    try:
+        w = int(os.environ.get("REPRO_SHARD_WORKERS", os.cpu_count() or 1))
+    except ValueError:
+        w = os.cpu_count() or 1
+    return max(1, w)
+
+
+def shard_mode() -> str:
+    """``REPRO_SHARD_MODE``: ``thread`` (default) or ``process``."""
+    mode = os.environ.get("REPRO_SHARD_MODE", "thread")
+    return mode if mode in ("thread", "process") else "thread"
+
+
+def _min_chunk() -> int:
+    """Smallest worthwhile chunk extent (``REPRO_SHARD_MIN_CHUNK``)."""
+    return max(1, env_capacity("REPRO_SHARD_MIN_CHUNK", 1024))
+
+
+def _max_tasks() -> int:
+    """Chunk-count ceiling per call (``REPRO_SHARD_MAX_TASKS``)."""
+    return max(1, env_capacity("REPRO_SHARD_MAX_TASKS", 16))
+
+
+def _shm_min() -> int:
+    """Bytes below which process-mode values travel by pickle, not shm."""
+    return env_capacity("REPRO_SHARD_SHM_MIN", 16384)
+
+
+# ---------------------------------------------------------------------------
+# Stats
+# ---------------------------------------------------------------------------
+
+#: Counters mirroring ``plan_cache_stats``: sharded/batched/fallback call
+#: counts, total dispatched chunks, pool (re)builds and infrastructure
+#: failures.  ``shard_stats()`` adds the live worker/mode configuration.
+SHARD_STATS = {
+    "sharded_calls": 0,
+    "batched_calls": 0,
+    "fallback_calls": 0,
+    "chunks": 0,
+    "pool_builds": 0,
+    "pool_errors": 0,
+}
+
+
+def shard_stats() -> Dict[str, object]:
+    """A snapshot of the shard counters plus the current configuration."""
+    return {
+        **SHARD_STATS,
+        "workers": shard_workers(),
+        "mode": shard_mode(),
+        "analysis_entries": len(_SPLITS),
+    }
+
+
+def reset_shard_stats() -> None:
+    """Zero every counter (configuration values are env-derived, untouched)
+    and re-arm process mode after a sticky pool failure."""
+    global _PROCESS_BROKEN
+    for k in SHARD_STATS:
+        SHARD_STATS[k] = 0
+    _PROCESS_BROKEN = False
+
+
+# ---------------------------------------------------------------------------
+# Shardability memo
+# ---------------------------------------------------------------------------
+
+_SPLITS = BoundedLRU()
+_SPLITS_CAP = 1024
+_TOKENS = itertools.count()
+
+#: Worker-cache tokens per *dispatched* ``Fun`` (the chunk function for
+#: ``run_fun_shard``, the whole function for ``run_fun_shard_batched`` —
+#: keying on the dispatched object keeps the two from ever sharing a token,
+#: so a worker can never replay the wrong cached plan).  Entries hold the
+#: fun strongly, so a keyed id cannot be recycled while its token lives.
+_FUN_TOKENS = BoundedLRU()
+
+
+def _token_for(fun: Fun) -> str:
+    ent = _FUN_TOKENS.get(id(fun))
+    if ent is not None and ent[0] is fun:
+        return ent[1]
+    # Unique per parent process AND per assignment, so a recycled id() can
+    # never revive a stale plan in a worker's cache.
+    token = f"{os.getpid()}.{next(_TOKENS)}"
+    _FUN_TOKENS.put(id(fun), (fun, token), _SPLITS_CAP)
+    return token
+
+
+def _split_for(fun: Fun) -> Optional[ShardSplit]:
+    """``shard_split(fun)``, memoised by identity."""
+    ent = _SPLITS.get(id(fun))
+    if ent is not None and ent[0] is fun:
+        return ent[1]
+    split = shard_split(fun)
+    _SPLITS.put(id(fun), (fun, split), _SPLITS_CAP)
+    return split
+
+
+# ---------------------------------------------------------------------------
+# Worker pool
+# ---------------------------------------------------------------------------
+
+_POOL = None
+_POOL_KEY = None
+_POOL_LOCK = threading.Lock()
+
+#: Sticky degrade: once the process pool proves broken (spawn unavailable,
+#: unpicklable environment), later calls go straight to in-process execution
+#: instead of paying a doomed pool construction per call.  Cleared by
+#: ``reset_shard_stats`` so tests/operators can re-probe after a fix.
+_PROCESS_BROKEN = False
+
+
+def _get_pool(mode: str, workers: int):
+    """The pool for ``(mode, workers)``, built/replaced under a lock so
+    concurrent shard calls cannot race construction against teardown and
+    leak an executor.  A caller can still lose its pool to a concurrent
+    reconfiguration between lookup and submit — submission sites treat the
+    resulting RuntimeError as 'run this call in-process' rather than an
+    error (correctness never depends on the pool)."""
+    global _POOL, _POOL_KEY
+    key = (mode, workers)
+    with _POOL_LOCK:
+        if _POOL is not None and _POOL_KEY == key:
+            return _POOL
+        _shutdown_pool_locked()
+        if mode == "process":
+            import multiprocessing as mp
+
+            _POOL = ProcessPoolExecutor(
+                max_workers=workers, mp_context=mp.get_context("spawn")
+            )
+        else:
+            _POOL = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-shard"
+            )
+        _POOL_KEY = key
+        SHARD_STATS["pool_builds"] += 1
+        return _POOL
+
+
+def _shutdown_pool_locked() -> None:
+    global _POOL, _POOL_KEY
+    if _POOL is not None:
+        _POOL.shutdown(wait=True, cancel_futures=True)
+        _POOL = None
+        _POOL_KEY = None
+
+
+def shutdown_shard_pool() -> None:
+    """Tear down the worker pool (it is rebuilt lazily on next use)."""
+    with _POOL_LOCK:
+        _shutdown_pool_locked()
+
+
+atexit.register(shutdown_shard_pool)
+
+
+# ---------------------------------------------------------------------------
+# Chunking
+# ---------------------------------------------------------------------------
+
+
+def _edges(n: int, nchunks: int) -> List[Tuple[int, int]]:
+    """``nchunks`` near-even ``[lo, hi)`` bounds covering ``[0, n)``."""
+    edges = np.linspace(0, n, nchunks + 1).astype(np.int64)
+    return [(int(edges[i]), int(edges[i + 1])) for i in range(nchunks)]
+
+
+def _chunk_bounds(n: int) -> List[Tuple[int, int]]:
+    """Chunk bounds for a shard extent of ``n``.
+
+    Depends only on ``n`` and the env knobs — never on the worker count —
+    which is what makes sharded results identical at 1 and N workers even
+    for the reduce kind (the partial-combine tree is fixed).
+    """
+    nchunks = min(_max_tasks(), n // _min_chunk())
+    if nchunks <= 1:
+        return [(0, n)]
+    return _edges(n, nchunks)
+
+
+# ---------------------------------------------------------------------------
+# Process-mode plumbing (shared-memory transport + worker-side plan cache)
+# ---------------------------------------------------------------------------
+
+
+def _new_segment(arr: np.ndarray):
+    """Copy ``arr`` into a fresh shared-memory segment.
+
+    Returns ``(shm handle, wire spec)`` — the one place the wire format for
+    ``_decode_arg``/``_decode_result`` is produced, shared by both transport
+    directions (parent→worker inputs and worker→parent outputs).
+    """
+    from multiprocessing import shared_memory
+
+    arr = np.ascontiguousarray(arr)
+    shm = shared_memory.SharedMemory(create=True, size=arr.nbytes)
+    np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)[...] = arr
+    return shm, ("shm", shm.name, arr.shape, arr.dtype.str)
+
+
+def _shm_export(arr: np.ndarray, holds: list):
+    """Parent-side export: the handle is appended to ``holds`` so the caller
+    closes and unlinks every segment once all futures have resolved."""
+    shm, spec = _new_segment(arr)
+    holds.append(shm)
+    return spec
+
+
+def _encode_arg(a, memo: dict, holds: list):
+    """Value -> wire spec.  ndarrays above the shm threshold go through
+    shared memory (deduplicated by object identity, so a broadcast argument
+    is exported once per call, not once per chunk)."""
+    if isinstance(a, np.ndarray) and a.nbytes >= max(1, _shm_min()):
+        spec = memo.get(id(a))
+        if spec is None:
+            spec = _shm_export(a, holds)
+            memo[id(a)] = spec
+        return spec
+    return ("raw", a)
+
+
+#: Worker-side cache of lowered plans, keyed by parent-assigned token — a
+#: true LRU (shared ``util.BoundedLRU``, like every other cache in the
+#: system) so a long session cycling through many functions evicts cold
+#: plans one at a time instead of wiping the hot set.
+_WORKER_PLANS = BoundedLRU()
+_WORKER_PLANS_CAP = 128
+
+
+def _decode_arg(spec, opened: list):
+    tag = spec[0]
+    if tag == "raw":
+        return spec[1]
+    from multiprocessing import shared_memory
+
+    # NB: attaching registers with the resource tracker on 3.8-3.12, but
+    # spawn children share the parent's tracker process and its cache is a
+    # set, so the duplicate registration is harmless: each segment is
+    # unlinked (and so unregistered) exactly once by its final owner.
+    _, name, shape, dtype = spec
+    shm = shared_memory.SharedMemory(name=name)
+    opened.append(shm)
+    return np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+
+
+def _encode_result(r):
+    arr = np.asarray(r)
+    if arr.nbytes >= max(1, _shm_min()) and arr.ndim:
+        # Ownership passes to the parent, which attaches, copies out, and
+        # unlinks; the shared resource tracker sees one register (deduped
+        # across processes) and one unregister via that unlink.
+        shm, spec = _new_segment(arr)
+        shm.close()
+        return spec
+    return ("raw", r)
+
+
+def _process_task(payload):
+    """Worker entry: decode args, run the (cached) plan, encode results."""
+    token, fun_bytes, specs, batched, batch_n = payload
+    plan = _WORKER_PLANS.get(token)
+    if plan is None:
+        plan = Plan(pickle.loads(fun_bytes))
+        _WORKER_PLANS.put(token, plan, _WORKER_PLANS_CAP)
+    opened: list = []
+    try:
+        args = [_decode_arg(s, opened) for s in specs]
+        if batched is None:
+            res = plan.run(args)
+        else:
+            res = plan.run_batched(args, batched, batch_n)
+        out = []
+        try:
+            for r in res:
+                out.append(_encode_result(r))
+        except BaseException:
+            # A half-encoded result set would leak its segments: the parent
+            # never learns their names.  Unlink what was already exported.
+            from multiprocessing import shared_memory
+
+            for spec in out:
+                if spec[0] == "shm":
+                    try:
+                        seg = shared_memory.SharedMemory(name=spec[1])
+                        seg.close()
+                        seg.unlink()
+                    except Exception:
+                        pass
+            raise
+        return out
+    finally:
+        for shm in opened:
+            shm.close()
+
+
+def _decode_result(spec):
+    if spec[0] == "raw":
+        return spec[1]
+    from multiprocessing import shared_memory
+
+    _, name, shape, dtype = spec
+    shm = shared_memory.SharedMemory(name=name)
+    out = np.array(np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf))
+    shm.close()
+    shm.unlink()
+    return out
+
+
+def _dispatch_process(
+    fun: Fun,
+    token: str,
+    arg_lists: Sequence[Sequence[object]],
+    batched,
+    batch_ns,
+    workers: int,
+):
+    pool = _get_pool("process", workers)
+    fun_bytes = pickle.dumps(fun)
+    memo: dict = {}
+    holds: list = []
+    try:
+        futs = [
+            pool.submit(
+                _process_task,
+                (
+                    token,
+                    fun_bytes,
+                    [_encode_arg(a, memo, holds) for a in args],
+                    batched,
+                    batch_ns[i] if batch_ns is not None else None,
+                ),
+            )
+            for i, args in enumerate(arg_lists)
+        ]
+        results = []
+        err = None
+        for f in futs:
+            try:
+                specs = f.result()
+            except BaseException as e:  # drain the rest before raising
+                if err is None:
+                    err = e
+                continue
+            if err is None:
+                results.append(tuple(_decode_result(s) for s in specs))
+            else:
+                for s in specs:  # orphaned outputs of post-failure chunks
+                    if s[0] == "shm":
+                        try:
+                            _decode_result(s)
+                        except Exception:
+                            pass
+        if err is not None:
+            raise err
+        return results
+    finally:
+        for shm in holds:
+            shm.close()
+            shm.unlink()
+
+
+# ---------------------------------------------------------------------------
+# Dispatch
+# ---------------------------------------------------------------------------
+
+
+def _dispatch(
+    fun: Fun,
+    sig_args: Sequence[object],
+    arg_lists: Sequence[Sequence[object]],
+    batched=None,
+    batch_ns=None,
+) -> List[Tuple[object, ...]]:
+    """Run ``fun`` over every chunk argument list, in order.
+
+    Thread mode (and the in-process fallback for a broken process pool)
+    lowers one shared plan in the parent and fans ``Plan.run`` out over the
+    pool; process mode ships the pickled ``Fun`` plus shm descriptors to
+    ``_process_task``.  Results always come back in chunk order.
+    """
+    global _PROCESS_BROKEN
+    workers = shard_workers()
+    SHARD_STATS["chunks"] += len(arg_lists)
+    if shard_mode() == "process" and not _PROCESS_BROKEN:
+        try:
+            return _dispatch_process(
+                fun, _token_for(fun), arg_lists, batched, batch_ns, workers
+            )
+        except (
+            BrokenExecutor,
+            CancelledError,
+            RuntimeError,
+            OSError,
+            ImportError,
+            pickle.PicklingError,
+        ):
+            # Pool-infrastructure failure (spawn unavailable, broken worker,
+            # unpicklable environment): degrade to the thread path below.
+            # Program-level errors — ReproError and anything else a chunk
+            # actually raised — propagate unchanged.
+            SHARD_STATS["pool_errors"] += 1
+            shutdown_shard_pool()
+            _PROCESS_BROKEN = True
+    plan = plan_for(fun, sig_args, batched, backend="shard")
+
+    def serially():
+        if batched is None:
+            return [plan.run(args) for args in arg_lists]
+        return [
+            plan.run_batched(args, batched, batch_ns[i])
+            for i, args in enumerate(arg_lists)
+        ]
+
+    if workers <= 1 or len(arg_lists) <= 1:
+        return serially()
+    try:
+        pool = _get_pool("thread", workers)
+        if batched is None:
+            futs = [pool.submit(plan.run, args) for args in arg_lists]
+        else:
+            futs = [
+                pool.submit(plan.run_batched, args, batched, batch_ns[i])
+                for i, args in enumerate(arg_lists)
+            ]
+    except RuntimeError:
+        # The pool was shut down under us by a concurrent reconfiguration;
+        # chunk results don't depend on where they run, so run in-process.
+        SHARD_STATS["pool_errors"] += 1
+        return serially()
+    try:
+        return [f.result() for f in futs]
+    except CancelledError:
+        # Queued chunks were cancelled by a concurrent pool teardown — rerun
+        # in-process.  Program errors (anything a chunk actually *raised*,
+        # RuntimeError subclasses included) propagate from result() as-is.
+        SHARD_STATS["pool_errors"] += 1
+        return serially()
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+def _fallback(fun: Fun, args: Sequence[object]) -> Tuple[object, ...]:
+    SHARD_STATS["fallback_calls"] += 1
+    return run_fun_plan(fun, args)
+
+
+def run_fun_shard(fun: Fun, args: Sequence[object]) -> Tuple[object, ...]:
+    """Evaluate ``fun`` with its dominant SOAC sharded across the pool.
+
+    Falls back to the plan backend when the shardability analysis rejects
+    the program outright.  A shardable program whose extent is below the
+    chunking threshold still runs through the prefix/chunk/suffix plans —
+    as one in-process chunk, so the already-evaluated prefix is never
+    thrown away and re-executed — and is counted as a fallback call.
+    """
+    split = _split_for(fun)
+    if split is None:
+        return _fallback(fun, args)
+    pre = run_fun_plan(split.prefix_fun, args)
+    shard_vals = [np.asarray(pre[i]) for i in split.sharded_src]
+    if not shard_vals or shard_vals[0].ndim == 0:
+        return _fallback(fun, args)
+    n = shard_vals[0].shape[0]
+    if any(v.ndim == 0 or v.shape[0] != n for v in shard_vals):
+        return _fallback(fun, args)
+    bounds = _chunk_bounds(n)
+    bcast = [pre[i] for i in split.chunk_broadcast]
+    arg_lists = [[v[lo:hi] for v in shard_vals] + bcast for lo, hi in bounds]
+    outs = _dispatch(split.chunk_fun, arg_lists[0], arg_lists)
+    if split.kind == "map":
+        combined = [
+            np.concatenate([np.asarray(o[i]) for o in outs], axis=0)
+            for i in range(split.n_outs)
+        ]
+    else:
+        stacked = np.stack([np.asarray(o[0]) for o in outs], axis=0)
+        comb = _UFUNC[split.combine_op].reduce(stacked, axis=0)
+        if split.ne_src is not None:
+            tag, v = split.ne_src
+            ne_val = np.asarray(pre[v] if tag == "pre" else v)
+            comb = _UFUNC[split.combine_op](ne_val.astype(stacked.dtype), comb)
+        combined = [comb]
+    SHARD_STATS["sharded_calls" if len(bounds) > 1 else "fallback_calls"] += 1
+    if split.suffix_fun is not None:
+        sargs = [
+            combined[i] if tag == "out" else pre[i]
+            for tag, i in split.suffix_src
+        ]
+        return run_fun_plan(split.suffix_fun, sargs)
+    out = []
+    for tag, i in split.out_src:
+        d = np.asarray(combined[i])
+        out.append(d if d.ndim else d[()])
+    return tuple(out)
+
+
+def run_fun_shard_batched(
+    fun: Fun, args: Sequence[object], batched: Sequence[bool], batch_size: int
+) -> Tuple[object, ...]:
+    """Evaluate a batched multi-seed call with the batch axis sharded.
+
+    Batch elements are independent by construction (the axis is a stacked
+    seed/vmap axis), so any chunking is sound; chunks are sized to the
+    worker count.  Falls back to one plan call when there is a single
+    worker or a single batch element.
+    """
+    b = int(batch_size)
+    nchunks = min(shard_workers(), b)
+    if nchunks <= 1:
+        SHARD_STATS["fallback_calls"] += 1
+        return run_fun_plan_batched(fun, args, batched, b)
+    bounds = _edges(b, nchunks)
+    batched = tuple(bool(f) for f in batched)
+    arrs = [np.asarray(a) if f else a for a, f in zip(args, batched)]
+    arg_lists = [
+        [a[lo:hi] if f else a for a, f in zip(arrs, batched)]
+        for lo, hi in bounds
+    ]
+    batch_ns = [hi - lo for lo, hi in bounds]
+    outs = _dispatch(
+        fun, arg_lists[0], arg_lists, batched=batched, batch_ns=batch_ns
+    )
+    SHARD_STATS["batched_calls"] += 1
+    return tuple(
+        np.concatenate([np.asarray(o[i]) for o in outs], axis=0)
+        for i in range(len(outs[0]))
+    )

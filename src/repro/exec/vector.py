@@ -30,7 +30,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..ir.analysis import recognize_binop_lambda, recognize_redomap_lambda
+from ..ir.analysis import (
+    OP_IDENTITY as _OP_IDENTITY,
+    ne_is_identity as _ne_is_identity,
+    recognize_binop_lambda,
+    recognize_redomap_lambda,
+)
 from ..ir.ast import (
     AtomExp,
     Atom,
@@ -85,23 +90,10 @@ def _neutral_of(op: str, dt: np.dtype):
     return dt.type(info.max if op == "min" else info.min)
 
 
-_OP_IDENTITY = {"add": 0.0, "mul": 1.0, "min": np.inf, "max": -np.inf}
-
-
-def _ne_is_identity(op: str, ne) -> bool:
-    """True when a syntactic neutral-element atom is provably the identity
-    of ``op`` — the fast reduce/scan paths may then skip folding it in.
-    A left fold from ``ne`` equals ``ne `op` fold-from-identity`` for the
-    specialisable (associative) ops, so non-identity neutral elements are
-    handled by one extra combine rather than falling off the fast path."""
-    from ..ir.ast import Const
-
-    if not isinstance(ne, Const):
-        return False
-    try:
-        return float(ne.value) == _OP_IDENTITY[op]
-    except (TypeError, ValueError):
-        return False
+# The specialisable-op identity table and the syntactic ne-is-identity test
+# live in ir/analysis.py (imported above as _OP_IDENTITY/_ne_is_identity):
+# the shardability analysis substitutes chunk neutral elements from the same
+# table, and the two must never diverge.
 
 
 @dataclass

@@ -3,6 +3,9 @@
 Backends
 --------
 
+Backends are resolved through the pluggable registry
+(``exec/registry.py``) — the built-ins:
+
 * ``"vec"`` (default) — the vectorised SIMT simulator, re-interpreting the
   IR on every call;
 * ``"ref"`` — the reference interpreter (semantics oracle, drives the cost
@@ -10,12 +13,20 @@ Backends
 * ``"plan"`` — the plan compiler: the function is lowered once to a flat
   sequence of NumPy closures and memoised per argument shape/dtype signature
   (see ``exec/plan.py`` for cache keying and invalidation), so repeat calls
-  skip optimisation and AST dispatch entirely.
+  skip optimisation and AST dispatch entirely;
+* ``"shard"`` — the sharded parallel executor: the dominant data-parallel
+  SOAC (or the batch axis of a batched call) is partitioned across a
+  persistent worker pool, each chunk running through the cached plan
+  backend (``exec/shard.py``; non-shardable programs fall back to plan).
+
+Unknown names raise listing the registered set; custom executors can be
+added with ``repro.exec.registry.register_backend``.
 
 ``call_batched`` is the batched multi-seed entry used by ``jacobian``: it
 evaluates the function once with selected arguments carrying a leading batch
-axis (supported on the ``vec`` and ``plan`` backends, whose batching
-machinery makes it a single bulk pass).
+axis (supported on backends with the ``batched`` capability — ``vec``,
+``plan`` and ``shard`` — whose batching machinery makes it a single bulk
+pass).
 """
 from __future__ import annotations
 
@@ -23,28 +34,34 @@ from typing import Sequence, Tuple
 
 from ..exec.cost import Cost, CostRecorder
 from ..exec.interp import RefInterp
-from ..exec.plan import run_fun_plan, run_fun_plan_batched
-from ..exec.vector import run_fun_vec, run_fun_vec_batched
+from ..exec.registry import available_backends, batched_backends, get_backend
 from ..ir.ast import Fun
 from ..ir.pretty import pretty
 from ..util import ReproError
 
-__all__ = ["Compiled", "compile_fun"]
+__all__ = ["Compiled", "compile_fun", "BACKENDS", "BATCHED_BACKENDS"]
 
-BACKENDS = ("vec", "ref", "plan")
 
-#: Backends able to evaluate all seeds of a multi-seed derivative in one
-#: batched pass (the reference interpreter loops instead).
-BATCHED_BACKENDS = ("vec", "plan")
+def __getattr__(name: str):
+    # Live views of the registry, not import-time snapshots — a backend
+    # registered after this module loads is visible immediately, so
+    # capability checks against these names can never go stale.
+    # ``BATCHED_BACKENDS`` lists the backends able to evaluate all seeds of
+    # a multi-seed derivative in one batched pass (``ref`` loops instead).
+    if name == "BACKENDS":
+        return available_backends()
+    if name == "BATCHED_BACKENDS":
+        return batched_backends()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class Compiled:
     """A runnable IR function.
 
-    ``backend="vec"`` (default) uses the vectorised SIMT simulator;
-    ``backend="ref"`` the reference interpreter; ``backend="plan"`` the
-    cached plan compiler.  ``cost()`` measures the cost-model counters of a
-    run (reference interpretation).
+    ``backend="vec"`` (default) uses the vectorised SIMT simulator; any
+    other registered backend name selects that executor (``ref``, ``plan``,
+    ``shard``, or a custom registration).  ``cost()`` measures the
+    cost-model counters of a run (reference interpretation).
 
     ``passes`` selects the optimisation passes applied at construction (a
     sequence of registered pass names — see ``opt.pipeline``); None means
@@ -76,14 +93,7 @@ class Compiled:
         return pretty(self.fun)
 
     def __call__(self, *args, backend: str = "vec"):
-        if backend == "vec":
-            res = run_fun_vec(self.fun, args)
-        elif backend == "plan":
-            res = run_fun_plan(self.fun, args)
-        elif backend == "ref":
-            res = RefInterp().run(self.fun, args)
-        else:
-            raise ReproError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+        res = get_backend(backend).run(self.fun, args)
         return res[0] if len(res) == 1 else res
 
     def call_batched(
@@ -96,17 +106,16 @@ class Compiled:
         """Evaluate once with the flagged arguments batched on a leading axis.
 
         Always returns a tuple of results, each with a leading ``batch_size``
-        axis.  Only the bulk backends support this; use a Python loop for
-        ``ref``.
+        axis.  Only backends with the ``batched`` capability support this;
+        use a Python loop for ``ref``.
         """
-        if backend == "plan":
-            return run_fun_plan_batched(self.fun, args, batched, batch_size)
-        if backend == "vec":
-            return run_fun_vec_batched(self.fun, args, batched, batch_size)
-        raise ReproError(
-            f"backend {backend!r} cannot run batched seeds; "
-            f"choose from {BATCHED_BACKENDS}"
-        )
+        be = get_backend(backend)
+        if be.run_batched is None:
+            raise ReproError(
+                f"backend {backend!r} cannot run batched seeds; "
+                f"choose from {batched_backends()}"
+            )
+        return be.run_batched(self.fun, args, batched, batch_size)
 
     def cost(self, *args) -> Cost:
         """Run under the cost model; returns work/span/memory counters."""

@@ -1,9 +1,11 @@
 """Small IR analyses shared by executors, AD rules and optimisation passes."""
 from __future__ import annotations
 
+from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
-from .ast import AtomExp, BinOp, Body, Const, Lambda, Map, Stm, Var
+from .ast import AtomExp, BinOp, Body, Const, Fun, Lambda, Map, Reduce, Stm, Var
+from .types import is_float, rank_of
 from ..util import BoundedLRU, env_capacity
 
 __all__ = [
@@ -11,7 +13,32 @@ __all__ = [
     "recognize_addition",
     "recognize_redomap_lambda",
     "perfect_map_nest",
+    "OP_IDENTITY",
+    "ne_is_identity",
+    "ShardSplit",
+    "shard_split",
 ]
+
+
+#: Identities of the specialisable reduce operators (float domain).  The
+#: single source of truth: the executors' fast reduce/scan/hist paths (via
+#: ``ne_is_identity``) and the shardability analysis (which substitutes the
+#: identity as the chunk neutral element) both key off this table.
+OP_IDENTITY = {"add": 0.0, "mul": 1.0, "min": float("inf"), "max": float("-inf")}
+
+
+def ne_is_identity(op: str, ne) -> bool:
+    """True when a syntactic neutral-element atom is provably the identity
+    of ``op`` — the fast reduce/scan paths may then skip folding it in.
+    A left fold from ``ne`` equals ``ne `op` fold-from-identity`` for the
+    specialisable (associative) ops, so non-identity neutral elements are
+    handled by one extra combine rather than falling off the fast path."""
+    if not isinstance(ne, Const):
+        return False
+    try:
+        return float(ne.value) == OP_IDENTITY[op]
+    except (TypeError, ValueError):
+        return False
 
 
 def recognize_binop_lambda(lam: Lambda) -> Optional[str]:
@@ -139,6 +166,203 @@ def _recognize_redomap(lam: Lambda) -> Optional[Tuple[str, Lambda]]:
             return None
         map_stms.append(stm)
     return exp.op, Lambda(tuple(lam.params[1:]), Body(tuple(map_stms), (v,)))
+
+
+# ---------------------------------------------------------------------------
+# Shardability analysis
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardSplit:
+    """A data-parallel decomposition of one ``Fun`` for the shard executor.
+
+    The function body is split around one *shard point* — the heaviest
+    top-level ``Map`` (no accumulators) or single-operand specialisable
+    ``Reduce``/redomap — into three derived functions:
+
+    * ``prefix_fun``  — the statements before the shard point, evaluated once
+      in the parent; its results (``prefix_fun.body.result``) carry every
+      value the later stages need (sharded inputs, broadcast closure values,
+      the reduce neutral element, suffix inputs);
+    * ``chunk_fun``   — the shard point alone.  Its first ``n_sharded``
+      parameters are the SOAC's input arrays, partitioned along the leading
+      axis; the rest broadcast unsliced.  For the reduce kind the neutral
+      element is replaced by the operator identity so chunk partials combine
+      exactly once in the parent;
+    * ``suffix_fun``  — the statements after the shard point (``None`` when
+      the function's results come straight off the shard point), evaluated
+      once in the parent on the recombined chunk results.
+
+    Index plumbing (all into ``prefix_fun``'s result tuple unless tagged):
+
+    * ``sharded_src[i]``      — prefix result feeding chunk parameter ``i``;
+    * ``chunk_broadcast[j]``  — prefix result feeding chunk parameter
+      ``n_sharded + j``;
+    * ``suffix_src``          — per suffix parameter, ``("out", i)`` for the
+      ``i``-th recombined chunk result or ``("pre", j)`` for a prefix result;
+    * ``out_src``             — when ``suffix_fun`` is None, ``("out", i)``
+      per function result;
+    * ``combine_op``/``ne_src`` — reduce kind only: the ufunc combining the
+      chunk partials, and where the real neutral element lives (``("pre", j)``
+      or ``("const", v)``; ``None`` when it is provably the identity).
+    """
+
+    kind: str  # "map" | "reduce"
+    prefix_fun: Fun
+    chunk_fun: Fun
+    n_sharded: int
+    sharded_src: Tuple[int, ...]
+    chunk_broadcast: Tuple[int, ...]
+    n_outs: int
+    suffix_fun: Optional[Fun]
+    suffix_src: Tuple[Tuple[str, int], ...]
+    out_src: Tuple[Tuple[str, int], ...]
+    combine_op: Optional[str] = None
+    ne_src: Optional[Tuple[str, object]] = None
+
+
+def _shard_candidate(stm: Stm):
+    """``(kind, combine_op, chunk_exp, ne_atom)`` if ``stm`` is a shardable
+    SOAC, else None.
+
+    A ``Map`` is shardable when it has no accumulators (those carry
+    cross-element state) and none of its input arrays is also read whole
+    inside the lambda (slicing would change what the lambda sees).  A
+    ``Reduce`` is shardable when its operator is a recognised specialisable
+    binop or redomap shape (associative, so chunk partials recombine) over a
+    scalar float neutral element.  Scans, while-loops and data-dependent
+    control flow at the top level are simply never candidates — the caller
+    falls back to the plan backend.
+    """
+    e = stm.exp
+    if isinstance(e, Map):
+        if e.accs or not e.arrs:
+            return None
+        from .traversal import free_vars
+
+        arr_names = {a.name for a in e.arrs}
+        if arr_names & set(free_vars(e.lam)):
+            return None
+        return ("map", None, e, None)
+    if isinstance(e, Reduce):
+        if len(e.nes) != 1 or not e.arrs or len(stm.pat) != 1:
+            return None
+        ne = e.nes[0]
+        if not (is_float(ne.type) and rank_of(ne.type) == 0):
+            return None
+        op = recognize_binop_lambda(e.lam)
+        if op is None:
+            rm = recognize_redomap_lambda(e.lam)
+            op = rm[0] if rm is not None else None
+        if op is None:
+            return None
+        from .traversal import free_vars
+
+        arr_names = {a.name for a in e.arrs}
+        if arr_names & set(free_vars(e.lam)):
+            return None
+        chunk_exp = replace(e, nes=(Const(OP_IDENTITY[op], ne.type),))
+        return ("reduce", op, chunk_exp, ne)
+    return None
+
+
+def shard_split(fun: Fun) -> Optional[ShardSplit]:
+    """Decompose ``fun`` for sharded execution, or None if not shardable.
+
+    Scans the top-level statements for shardable SOACs (see
+    ``_shard_candidate``) and splits around the *heaviest* one (by recursive
+    statement count — the best static proxy for per-element work), so e.g.
+    GMM shards its big per-point redomap rather than the tiny wishart
+    reduce that happens to come later.  Programs with no top-level
+    parallel SOAC — scans, data-dependent loops, pure scalar code — return
+    None and run unsharded.
+    """
+    from .traversal import count_stms_exp, free_vars, free_vars_exp
+
+    stms = fun.body.stms
+    best = None
+    best_w = -1
+    for k, stm in enumerate(stms):
+        cand = _shard_candidate(stm)
+        if cand is None:
+            continue
+        w = count_stms_exp(stm.exp)
+        if w >= best_w:  # ties -> later statement
+            best, best_w = (k, cand), w
+    if best is None:
+        return None
+    k, (kind, op, chunk_exp, ne_atom) = best
+    stm = stms[k]
+
+    # The prefix result tuple, grown on demand.
+    pre_vars: list = []
+    pre_idx = {}
+
+    def pre(v: Var) -> int:
+        i = pre_idx.get(v.name)
+        if i is None:
+            i = len(pre_vars)
+            pre_idx[v.name] = i
+            pre_vars.append(v)
+        return i
+
+    arrs = chunk_exp.arrs
+    seen = set()
+    sharded = [a for a in arrs if not (a.name in seen or seen.add(a.name))]
+    chunk_free = free_vars_exp(chunk_exp)
+    broadcast = [v for n, v in chunk_free.items() if n not in seen]
+    sharded_src = tuple(pre(v) for v in sharded)
+    chunk_broadcast = tuple(pre(v) for v in broadcast)
+    chunk_fun = Fun(
+        fun.name + "_shard_chunk",
+        tuple(sharded) + tuple(broadcast),
+        Body((Stm(stm.pat, chunk_exp),), tuple(stm.pat)),
+    )
+
+    ne_src = None
+    if kind == "reduce":
+        if isinstance(ne_atom, Var):
+            ne_src = ("pre", pre(ne_atom))
+        elif not ne_is_identity(op, ne_atom):
+            ne_src = ("const", ne_atom.value)
+
+    pat_pos = {v.name: i for i, v in enumerate(stm.pat)}
+    suffix_stms = stms[k + 1:]
+    suffix_fun = None
+    suffix_src: Tuple[Tuple[str, int], ...] = ()
+    out_src: Tuple[Tuple[str, int], ...] = ()
+    if suffix_stms or not all(
+        isinstance(a, Var) and a.name in pat_pos for a in fun.body.result
+    ):
+        sbody = Body(tuple(suffix_stms), fun.body.result)
+        sfree = free_vars(sbody)
+        sparams = tuple(sfree.values())
+        suffix_fun = Fun(fun.name + "_shard_suffix", sparams, sbody)
+        suffix_src = tuple(
+            ("out", pat_pos[v.name]) if v.name in pat_pos else ("pre", pre(v))
+            for v in sparams
+        )
+    else:
+        out_src = tuple(("out", pat_pos[a.name]) for a in fun.body.result)
+
+    prefix_fun = Fun(
+        fun.name + "_shard_pre", fun.params, Body(stms[:k], tuple(pre_vars))
+    )
+    return ShardSplit(
+        kind=kind,
+        prefix_fun=prefix_fun,
+        chunk_fun=chunk_fun,
+        n_sharded=len(sharded),
+        sharded_src=sharded_src,
+        chunk_broadcast=chunk_broadcast,
+        n_outs=len(stm.pat),
+        suffix_fun=suffix_fun,
+        suffix_src=suffix_src,
+        out_src=out_src,
+        combine_op=op,
+        ne_src=ne_src,
+    )
 
 
 def perfect_map_nest(exp) -> Tuple[Tuple[Map, ...], Body]:

@@ -8,7 +8,12 @@ import numpy as np
 
 import repro as rp
 
-BACKENDS = ("ref", "vec", "plan")
+#: Every registered backend takes part in the parity checks; ``shard``
+#: mostly falls back to ``plan`` at test sizes (extents below
+#: ``REPRO_SHARD_MIN_CHUNK``), which still exercises its dispatch and
+#: analysis paths — ``tests/test_exec_shard.py`` lowers the chunking
+#: threshold to force genuine multi-worker execution.
+BACKENDS = ("ref", "vec", "plan", "shard")
 
 
 def run_both(fc, *args):

@@ -37,7 +37,41 @@ def test_bench_module_imports(mod):
 
 def test_common_exposes_plan_backend_wiring():
     common = importlib.import_module("common")
-    assert common.BENCH_BACKEND in ("plan", "vec", "ref")
+    from repro.exec.registry import available_backends
+
+    # any registered backend is a valid bench target (REPRO_BENCH_BACKEND)
+    assert common.BENCH_BACKEND in available_backends()
+
+
+def test_shard_stats_shape_for_bench_ablations():
+    """The A6 shard ablation keys off ``shard_stats()``; make sure the
+    counters exist, expose the worker/mode configuration, and move when a
+    batched call is sharded."""
+    import numpy as np
+
+    import repro as rp
+    from repro.exec.shard import shard_stats, shutdown_shard_pool
+
+    st = shard_stats()
+    assert {
+        "sharded_calls",
+        "batched_calls",
+        "fallback_calls",
+        "chunks",
+        "pool_builds",
+        "pool_errors",
+        "workers",
+        "mode",
+    } <= set(st)
+    assert st["workers"] >= 1 and st["mode"] in ("thread", "process")
+    before = st["batched_calls"] + st["fallback_calls"]
+    jac = rp.jacobian(
+        rp.compile(rp.trace_like(lambda x: rp.map(lambda v: v * v, x), (np.ones(4),)))
+    )
+    jac(np.ones(4), backend="shard")
+    st = shard_stats()
+    assert st["batched_calls"] + st["fallback_calls"] > before
+    shutdown_shard_pool()
 
 
 def test_opt_stats_shape_for_bench_ablations():
