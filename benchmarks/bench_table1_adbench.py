@@ -21,6 +21,7 @@ from repro.apps import ba, gmm, hand, lstm
 from repro.baselines import eager as eg
 from common import (
     ba_setup,
+    bench_row,
     gmm_setup,
     hand_setup,
     lstm_setup,
@@ -38,10 +39,13 @@ PAPER = {
 }
 
 _ROWS = {}
+_SECS = {}
 
 
-def _record(problem, impl, ratio):
+def _record(problem, impl, ratio, seconds=None):
     _ROWS.setdefault(problem, {})[impl] = ratio
+    if seconds is not None:
+        _SECS[(problem, impl)] = seconds
     if all(len(v) == 3 for v in _ROWS.values()) and len(_ROWS) == 5:
         lines = ["Table 1: full-Jacobian time / objective time (lower is better)",
                  f"{'problem':8s} {'ours':>8s} {'tape':>8s} {'manual':>8s}   paper(Fut/Tap/Man)"]
@@ -51,7 +55,16 @@ def _record(problem, impl, ratio):
                 f"{p:8s} {v['ours']:8.1f} {v['tape']:8.1f} {v['manual']:8.1f}   "
                 f"{pp['Futhark']:.1f}/{pp['Tapenade']:.1f}/{pp['Manual']:.1f}"
             )
-        write_table("table1_adbench", lines)
+        rows = [
+            bench_row(
+                f"{p}/{impl}",
+                seconds=_SECS.get((p, impl)),
+                jac_over_obj_ratio=r,
+            )
+            for p, v in _ROWS.items()
+            for impl, r in v.items()
+        ]
+        write_table("table1_adbench", lines, rows=rows)
 
 
 # ---------------------------------------------------------------------------
@@ -66,7 +79,7 @@ def test_table1_gmm_ours(benchmark):
     t_obj = timeit(fc, *args)
     t_jac = benchmark(lambda: g(*args))
     t_jac = timeit(lambda: g(*args))
-    _record("GMM", "ours", t_jac / t_obj)
+    _record("GMM", "ours", t_jac / t_obj, seconds=t_jac)
 
 
 def test_table1_gmm_tape(benchmark):
@@ -76,14 +89,16 @@ def test_table1_gmm_tape(benchmark):
     gr = eg.grad(lambda a, m, i: gmm.objective_eager(a, m, i, x))
     t_obj = timeit(obj)
     benchmark(lambda: gr(alphas, means, icf))
-    _record("GMM", "tape", timeit(lambda: gr(alphas, means, icf)) / t_obj)
+    t = timeit(lambda: gr(alphas, means, icf))
+    _record("GMM", "tape", t / t_obj, seconds=t)
 
 
 def test_table1_gmm_manual(benchmark):
     args, fc, g = gmm_setup(GMM_N, GMM_D, GMM_K)
     t_obj = timeit(lambda: gmm.objective_np(*args))
     benchmark(lambda: gmm.grad_manual(*args))
-    _record("GMM", "manual", timeit(lambda: gmm.grad_manual(*args)) / t_obj)
+    t = timeit(lambda: gmm.grad_manual(*args))
+    _record("GMM", "manual", t / t_obj, seconds=t)
 
 
 # ---------------------------------------------------------------------------
@@ -105,7 +120,8 @@ def test_table1_ba_ours(benchmark):
     (gc, gp, gw, feats), fc, jv, jv_raw = ba_setup(BA_CAMS, BA_PTS, BA_OBS)
     t_obj = timeit(fc, gc, gp, gw, feats)
     benchmark(lambda: _ba_jac_ours(jv_raw, gc, gp, gw, feats))
-    _record("BA", "ours", timeit(lambda: _ba_jac_ours(jv_raw, gc, gp, gw, feats)) / t_obj)
+    t = timeit(lambda: _ba_jac_ours(jv_raw, gc, gp, gw, feats))
+    _record("BA", "ours", t / t_obj, seconds=t)
 
 
 def test_table1_ba_tape(benchmark):
@@ -123,14 +139,16 @@ def test_table1_ba_tape(benchmark):
 
     t_obj = timeit(obj)
     benchmark(jac)
-    _record("BA", "tape", timeit(jac) / t_obj)
+    t = timeit(jac)
+    _record("BA", "tape", t / t_obj, seconds=t)
 
 
 def test_table1_ba_manual(benchmark):
     (gc, gp, gw, feats), fc, jv, jv_raw = ba_setup(BA_CAMS, BA_PTS, BA_OBS)
     t_obj = timeit(lambda: ba.residuals_np(gc, gp, gw, feats))
     benchmark(lambda: ba.jacobian_manual(gc, gp, gw, feats))
-    _record("BA", "manual", timeit(lambda: ba.jacobian_manual(gc, gp, gw, feats)) / t_obj)
+    t = timeit(lambda: ba.jacobian_manual(gc, gp, gw, feats))
+    _record("BA", "manual", t / t_obj, seconds=t)
 
 
 # ---------------------------------------------------------------------------
@@ -145,7 +163,8 @@ def test_table1_dlstm_ours(benchmark):
     args = a
     t_obj = timeit(fc, *args)
     benchmark(lambda: g(*args))
-    _record("D-LSTM", "ours", timeit(lambda: g(*args)) / t_obj)
+    t = timeit(lambda: g(*args))
+    _record("D-LSTM", "ours", t / t_obj, seconds=t)
 
 
 def test_table1_dlstm_tape(benchmark):
@@ -155,14 +174,16 @@ def test_table1_dlstm_tape(benchmark):
     gr = eg.grad(lambda a_, b_, c_, d_: lstm.loss_eager(xs, a_, b_, c_, d_, tg))
     t_obj = timeit(obj)
     benchmark(lambda: gr(wx, wh, b, wy))
-    _record("D-LSTM", "tape", timeit(lambda: gr(wx, wh, b, wy)) / t_obj)
+    t = timeit(lambda: gr(wx, wh, b, wy))
+    _record("D-LSTM", "tape", t / t_obj, seconds=t)
 
 
 def test_table1_dlstm_manual(benchmark):
     (args, fc, g, fwd_raw) = lstm_setup(LSTM_BS, LSTM_N, LSTM_D, LSTM_H)
     t_obj = timeit(lambda: lstm.loss_np(*args))
     benchmark(lambda: lstm.grad_manual(*args))
-    _record("D-LSTM", "manual", timeit(lambda: lstm.grad_manual(*args)) / t_obj)
+    t = timeit(lambda: lstm.grad_manual(*args))
+    _record("D-LSTM", "manual", t / t_obj, seconds=t)
 
 
 # ---------------------------------------------------------------------------
@@ -182,7 +203,8 @@ def test_table1_hand_ours(benchmark):
     (theta, base, wghts, tgts), fc, fwd_raw = hand_setup(HAND_B, HAND_V)
     t_obj = timeit(fc, theta, base, wghts, tgts)
     benchmark(lambda: _hand_jac_ours(fwd_raw, theta, base, wghts, tgts))
-    _record("HAND", "ours", timeit(lambda: _hand_jac_ours(fwd_raw, theta, base, wghts, tgts)) / t_obj)
+    t = timeit(lambda: _hand_jac_ours(fwd_raw, theta, base, wghts, tgts))
+    _record("HAND", "ours", t / t_obj, seconds=t)
 
 
 def test_table1_hand_tape(benchmark):
@@ -198,14 +220,16 @@ def test_table1_hand_tape(benchmark):
 
     t_obj = timeit(obj)
     benchmark(jac)
-    _record("HAND", "tape", timeit(jac) / t_obj)
+    t = timeit(jac)
+    _record("HAND", "tape", t / t_obj, seconds=t)
 
 
 def test_table1_hand_manual(benchmark):
     (theta, base, wghts, tgts), fc, fwd_raw = hand_setup(HAND_B, HAND_V)
     t_obj = timeit(lambda: hand.objective_np(theta, base, wghts, tgts))
     benchmark(lambda: hand.jacobian_manual(theta, base, wghts, tgts))
-    _record("HAND", "manual", timeit(lambda: hand.jacobian_manual(theta, base, wghts, tgts)) / t_obj)
+    t = timeit(lambda: hand.jacobian_manual(theta, base, wghts, tgts))
+    _record("HAND", "manual", t / t_obj, seconds=t)
 
 
 # ---------------------------------------------------------------------------
@@ -252,7 +276,8 @@ def test_table1_handc_ours(benchmark):
     args, fc, fwd, jv = _handc_setup()
     t_obj = timeit(fc, *args)
     benchmark(lambda: _handc_jac_ours(fwd, jv, *args))
-    _record("HAND-C", "ours", timeit(lambda: _handc_jac_ours(fwd, jv, *args)) / t_obj)
+    t = timeit(lambda: _handc_jac_ours(fwd, jv, *args))
+    _record("HAND-C", "ours", t / t_obj, seconds=t)
 
 
 def test_table1_handc_tape(benchmark):
@@ -270,7 +295,8 @@ def test_table1_handc_tape(benchmark):
 
     t_obj = timeit(obj)
     benchmark(jac)
-    _record("HAND-C", "tape", timeit(jac) / t_obj)
+    t = timeit(jac)
+    _record("HAND-C", "tape", t / t_obj, seconds=t)
 
 
 def test_table1_handc_manual(benchmark):
@@ -278,4 +304,5 @@ def test_table1_handc_manual(benchmark):
     theta, u, base, wghts, cands = args
     t_obj = timeit(lambda: residuals_complicated_np(*args))
     benchmark(lambda: jacobian_complicated_manual(*args))
-    _record("HAND-C", "manual", timeit(lambda: jacobian_complicated_manual(*args)) / t_obj)
+    t = timeit(lambda: jacobian_complicated_manual(*args))
+    _record("HAND-C", "manual", t / t_obj, seconds=t)

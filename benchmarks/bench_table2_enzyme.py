@@ -7,7 +7,7 @@ ported kernels and quote the paper's numbers alongside.
 """
 import pytest
 
-from common import rs_setup, timeit, write_table, xs_setup
+from common import bench_row, rs_setup, timeit, write_table, xs_setup
 
 PAPER = {"RSBench": {"fut": 3.6, "enzyme": 4.2}, "XSBench": {"fut": 2.6, "enzyme": 3.2}}
 
@@ -26,7 +26,12 @@ def _record(name, t_prim, t_ad):
             lines.append(
                 f"{k:8s} {tp:10.4f} {ta:10.4f} {ta / tp:8.1f}x  {pp['fut']:.1f}x/{pp['enzyme']:.1f}x"
             )
-        write_table("table2_enzyme", lines)
+        rows = [
+            bench_row(f"{k}/{kind}", seconds=t)
+            for k, (tp, ta) in _ROWS.items()
+            for kind, t in (("primal", tp), ("ad", ta))
+        ]
+        write_table("table2_enzyme", lines, rows=rows)
 
 
 RS = (4000, 32, 8)

@@ -9,7 +9,7 @@ Workloads scaled ~50×: structure identical.
 import pytest
 
 from repro.apps import kmeans
-from common import kmeans_setup, timeit, write_table
+from common import bench_row, kmeans_setup, timeit, write_table
 
 WORKLOADS = {
     "W0 (5,~10k,35)": (5, 10000, 35),
@@ -29,7 +29,12 @@ def _record(wname, impl, t):
         for w, v in _ROWS.items():
             lines.append(f"{w:16s} {v['manual']:9.4f} {v['ours']:9.4f} {v['tape']:9.4f}")
         lines.append("paper: manual 9.3/9.9 ms, Futhark-AD 36.6/9.6 ms, PyTorch 44.9/11.2 ms (A100)")
-        write_table("table3_kmeans_dense", lines)
+        rows = [
+            bench_row(f"{w}/{impl}", seconds=t)
+            for w, v in _ROWS.items()
+            for impl, t in v.items()
+        ]
+        write_table("table3_kmeans_dense", lines, rows=rows)
 
 
 @pytest.mark.parametrize("wname", list(WORKLOADS))

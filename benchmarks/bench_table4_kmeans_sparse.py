@@ -8,7 +8,7 @@ import pytest
 
 from repro.apps import datagen, kmeans_sparse
 from repro.baselines import eager as eg
-from common import kmeans_sparse_setup, timeit, write_table
+from common import bench_row, kmeans_sparse_setup, timeit, write_table
 
 # (rows, cols, nnz/row) scaled ~8x down from SPARSE_SHAPES.
 WORKLOADS = {
@@ -30,7 +30,12 @@ def _record(wname, impl, t):
         for w, v in _ROWS.items():
             lines.append(f"{w:12s} {v['manual']:9.4f} {v['ours']:9.4f} {v['tape']:10.4f}")
         lines.append("paper (A100): manual 61/83/156 ms, Futhark-AD 152/300/579 ms, PyTorch 61223/226896/367799 ms")
-        write_table("table4_kmeans_sparse", lines)
+        rows = [
+            bench_row(f"{w}/{impl}", seconds=t)
+            for w, v in _ROWS.items()
+            for impl, t in v.items()
+        ]
+        write_table("table4_kmeans_sparse", lines, rows=rows)
 
 
 @pytest.mark.parametrize("wname", list(WORKLOADS))

@@ -9,7 +9,7 @@ import pytest
 
 from repro.apps import datagen, gmm
 from repro.baselines import eager as eg
-from common import gmm_setup, timeit, write_table
+from common import bench_row, gmm_setup, timeit, write_table
 
 SCALE_NOTE = "shapes = Table 5a scaled (n/8, d/4, K/4)"
 GRID = {
@@ -34,7 +34,12 @@ def _record(ds, key, value):
                 f"{ds:4s} {v['tape_jac']:12.4f} {sp:7.2f}x {v['tape_jac']/v['tape_obj']:8.2f}x {v['ours_jac']/v['ours_obj']:8.2f}x"
             )
         lines.append("paper (5b): speedups 0.87–2.18x; overheads PyT 2.45–5.28x, Fut 2.0–3.18x")
-        write_table("table5_gmm", lines)
+        rows = [
+            bench_row(f"{ds}/{key}", seconds=t)
+            for ds, v in _ROWS.items()
+            for key, t in v.items()
+        ]
+        write_table("table5_gmm", lines, rows=rows)
 
 
 @pytest.mark.parametrize("ds", list(GRID))

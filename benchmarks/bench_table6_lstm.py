@@ -9,7 +9,7 @@ import pytest
 
 from repro.apps import lstm
 from repro.baselines import eager as eg
-from common import lstm_setup, timeit, write_table
+from common import bench_row, lstm_setup, timeit, write_table
 
 DS = {
     "D0": (16, 5, 24, 12),  # bs, n, d, h  (paper: 1024, 20, 300, 192)
@@ -33,7 +33,12 @@ def _record(ds, key, value):
                 f" {v['ours']/v['ours_obj']:8.2f}x {v['tape']/v['tape_obj']:8.2f}x"
             )
         lines.append("paper (A100): PyT 51.9/713.7 ms; Fut 3.1/3.0x faster; cuDNN 14/25.5x; overheads 2.6/3.6 (PyT) 2.0/4.0 (Fut)")
-        write_table("table6_lstm", lines)
+        rows = [
+            bench_row(f"{ds_}/{key}", seconds=t)
+            for ds_, v in _ROWS.items()
+            for key, t in v.items()
+        ]
+        write_table("table6_lstm", lines, rows=rows)
 
 
 @pytest.mark.parametrize("ds", list(DS))
@@ -90,5 +95,9 @@ def test_table6_fwd_batched_bias_gradient(benchmark):
             f"{t_l * 1000:.1f} ms ({t_l / t_b:.1f}x)",
             "all basis seeds stack on one leading batch axis (call_batched);",
             "on backend=shard that axis is partitioned across the worker pool.",
+        ],
+        rows=[
+            bench_row("fwd_batched", seconds=t_b),
+            bench_row("fwd_per_seed_loop", seconds=t_l),
         ],
     )

@@ -17,15 +17,18 @@ Unknown names fail at import with the registered set listed.
 from __future__ import annotations
 
 import functools
+import json
 import os
 import time
-from typing import Callable
+from typing import Callable, Optional
 
 import numpy as np
 
 import repro as rp
 from repro.apps import ba, datagen, gmm, hand, kmeans, kmeans_sparse, lstm, rsbench, xsbench
+from repro.exec.plan import plan_cache_stats
 from repro.exec.registry import get_backend
+from repro.exec.shard import shard_stats
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 os.makedirs(RESULTS_DIR, exist_ok=True)
@@ -41,11 +44,39 @@ def on_bench_backend(f: Callable) -> Callable:
     return functools.partial(f, backend=BENCH_BACKEND)
 
 
-def write_table(name: str, lines) -> None:
+def bench_row(name: str, seconds: Optional[float] = None, backend: Optional[str] = None, **extra) -> dict:
+    """One machine-readable benchmark row for ``write_table(rows=...)``:
+    a measurement name, the backend it ran on, its wall-clock seconds (None
+    for rows recording non-time metrics), plus free-form extra fields."""
+    row = {"name": name, "backend": backend or BENCH_BACKEND, "seconds": seconds}
+    row.update(extra)
+    return row
+
+
+def write_table(name: str, lines, rows=None) -> None:
+    """Write a paper-style text table *and* a machine-readable artifact.
+
+    Every table emits ``results/BENCH_<name>.json`` so the perf trajectory
+    is trackable across PRs: the per-row measurements (``bench_row`` dicts
+    when the caller passes them), the backend, a snapshot of the plan-cache
+    and shard counters at write time, and the human-readable lines.
+    """
     path = os.path.join(RESULTS_DIR, name + ".txt")
     text = "\n".join(lines) + "\n"
     with open(path, "w") as f:
         f.write(text)
+    payload = {
+        "table": name,
+        "backend": BENCH_BACKEND,
+        "unix_time": time.time(),
+        "rows": [dict(r) for r in (rows or [])],
+        "plan_cache": plan_cache_stats(),
+        "shard": shard_stats(),
+        "lines": list(lines),
+    }
+    with open(os.path.join(RESULTS_DIR, f"BENCH_{name}.json"), "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True, default=str)
+        f.write("\n")
     print("\n" + text)
 
 

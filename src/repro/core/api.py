@@ -29,7 +29,7 @@ from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
 
-from ..exec.registry import batched_backends, get_backend
+from ..exec.registry import batched_backends, default_backend, get_backend
 from ..frontend.function import Compiled, compile_fun
 from ..ir.ast import Fun
 from ..ir.types import is_float, rank_of
@@ -125,8 +125,8 @@ def grad(f: FunLike, optimize: bool = True, wrt=None, passes=None) -> Callable:
         raise ADError("grad: function must return a single float scalar")
     g = vjp(f, optimize=optimize, wrt=wrt, passes=passes)
 
-    def run(*args, backend: str = "vec"):
-        res = _as_tuple(g(*args, 1.0, backend=backend))
+    def run(*args, backend: Optional[str] = None):
+        res = _as_tuple(g(*args, 1.0, backend=backend or default_backend()))
         adjs = res[1:]
         return adjs[0] if len(adjs) == 1 else adjs
 
@@ -142,10 +142,10 @@ def value_and_grad(f: FunLike, optimize: bool = True, wrt=None, passes=None) -> 
         raise ADError("value_and_grad: function must return a single float scalar")
     g = vjp(f, optimize=optimize, wrt=wrt, passes=passes)
 
-    def run(*args, backend: str = "vec"):
+    def run(*args, backend: Optional[str] = None):
         # Normalise exactly as ``grad`` does: ``Compiled`` unwraps singleton
         # results, so ``res`` may be a bare value rather than a tuple.
-        res = _as_tuple(g(*args, 1.0, backend=backend))
+        res = _as_tuple(g(*args, 1.0, backend=backend or default_backend()))
         adjs = res[1:]
         return res[0], (adjs[0] if len(adjs) == 1 else adjs)
 
@@ -174,7 +174,8 @@ def jacobian(f: FunLike, mode: Optional[str] = None) -> Callable:
     fwd = jvp(f)
     rev = vjp(f)
 
-    def run(x, backend: str = "vec", batched: Optional[bool] = None):
+    def run(x, backend: Optional[str] = None, batched: Optional[bool] = None):
+        backend = backend or default_backend()
         be = get_backend(backend)  # fail early, naming the registered set
         x = np.asarray(x, dtype=np.float64)
         y = np.asarray(primal(x, backend=backend))
@@ -280,7 +281,8 @@ def hessian_diag(f: FunLike, wrt: int = 0) -> Callable:
             f"parameters for {len(float_idx)} float parameters"
         )
 
-    def run(*args, backend: str = "vec"):
+    def run(*args, backend: Optional[str] = None):
+        backend = backend or default_backend()
         if len(args) != n_args:
             raise ADError(
                 f"hessian_diag: expected {n_args} arguments, got {len(args)}"

@@ -11,11 +11,14 @@ from .plan import (  # noqa: F401
     plan_for,
     run_fun_plan,
     run_fun_plan_batched,
+    specialize_enabled,
+    specialized_plan,
 )
 from .registry import (  # noqa: F401
     Backend,
     available_backends,
     batched_backends,
+    default_backend,
     get_backend,
     register_backend,
     unregister_backend,

@@ -31,23 +31,40 @@ machinery — so SIMT-style divergence, accumulators, and lane-varying loops
 all behave the same (the test suite runs every program on ``ref``, ``vec``
 and ``plan`` and asserts agreement).
 
-Caching
--------
+Caching — two tiers
+-------------------
 
 ``plan_for(fun, args, batched=..., backend=...)`` memoises plans in a
-module-level cache keyed by ``(id(fun), backend, arg shape/dtype signature,
-batched flags)`` — the "(fun, backend, signature)" key of the design; the
-backend dimension separates entries lowered for the plan backend proper
-from those the shard executor lowers for its chunk functions, so the two
-can never collide for the same ``Fun``.  Keying by object identity is
-sound because the cache holds a strong reference to each keyed ``Fun``
-(entries are immutable; ids cannot be recycled while their entries live).
-Repeat calls on same-shaped arguments therefore skip tracing, optimisation,
-and lowering entirely; ``PLAN_STATS`` counts hits/misses/evictions and
-fused-statement totals so callers can assert cache behaviour.  The cache is
-an LRU bounded by ``REPRO_PLAN_CACHE_SIZE`` entries (default 512, ``0``
-unbounded); ``clear_plan_cache`` drops everything eagerly (plans are derived
-purely from immutable ``Fun`` values, so entries never go stale).
+module-level, lock-guarded cache with two tiers:
+
+* **tier 1 (generic)** — keyed by ``(id(fun), backend, rank/dtype
+  signature, batched flags)``.  Concrete extents are dropped from the key:
+  plans are shape-generic, so one lowering serves a whole problem-size
+  sweep (GMM D0→D6, BA camera counts, shard chunk extents) instead of
+  re-lowering per shape and churning the LRU.  The backend dimension
+  separates entries lowered for the plan backend proper from those the
+  shard executor lowers for its chunk functions.
+* **tier 2 (specialised, ``REPRO_PLAN_SPECIALIZE``, default on)** — after a
+  concrete ``(shape, dtype)`` signature scores
+  ``REPRO_PLAN_SPECIALIZE_AFTER`` (default 2) tier-1 hits, the plan is
+  re-lowered with the signature's static facts folded in
+  (``ir.analysis.infer_static_shapes``): ``Size`` expressions become
+  prebuilt constants, iota/replicate/histogram extents become compile-time
+  ints (small iotas prebuilt outright), and reduce/scan lowering picks its
+  strategy by the known extent.  Specialised and generic plans agree
+  bitwise — promotion is purely a perf move.
+
+Keying by object identity is sound because the cache holds a strong
+reference to each keyed ``Fun`` (entries are immutable; ids cannot be
+recycled while their entries live).  Repeat calls on same-shaped arguments
+skip tracing, optimisation, and lowering entirely; ``PLAN_STATS`` counts
+hits/misses/specialized-hits/promotions/evictions and fused-statement/fold
+totals so callers can assert cache behaviour.  Each tier is an LRU bounded
+by ``REPRO_PLAN_CACHE_SIZE`` entries (default 512, ``0`` unbounded);
+``clear_plan_cache`` drops everything eagerly (plans are derived purely
+from immutable ``Fun`` values, so entries never go stale).  All cache and
+counter state is mutated under one re-entrant lock — shard thread mode
+resolves plans from pool workers concurrently.
 
 Batched seeds
 -------------
@@ -59,11 +76,18 @@ single pass, stacked on the leading axis, instead of n/m separate runs.
 """
 from __future__ import annotations
 
+import os
+import threading
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..ir.analysis import recognize_binop_lambda, recognize_redomap_lambda
+from ..ir.analysis import (
+    StaticInfo,
+    infer_static_shapes,
+    recognize_binop_lambda,
+    recognize_redomap_lambda,
+)
 from ..ir.ast import (
     AtomExp,
     Atom,
@@ -125,6 +149,8 @@ __all__ = [
     "Plan",
     "compile_plan",
     "plan_for",
+    "specialized_plan",
+    "specialize_enabled",
     "run_fun_plan",
     "run_fun_plan_batched",
     "PLAN_STATS",
@@ -177,6 +203,11 @@ def _map_args_rt(eng: _Engine, readers) -> Tuple[List[BV], int]:
 #: independent of the engine's mask/batch state (they only read operands).
 _RUN_FUSIBLE = (AtomExp, UnOp, BinOp, Select, Cast, Index, ZerosLike)
 
+#: Largest statically known iota a specialised plan prebuilds at lowering
+#: time (beyond it, holding the constant array per cached plan costs more
+#: memory than the per-call ``np.arange`` costs time).
+_IOTA_PREBUILD_MAX = 1 << 16
+
 
 class _PlanCompiler:
     """One-shot lowering of a ``Fun`` body to instruction closures.
@@ -191,11 +222,44 @@ class _PlanCompiler:
     register file — fewer instruction dispatches and register round-trips
     on the scalar-heavy bodies AD emits.  ``self.fused`` counts statements
     so collapsed (surfaced via ``plan_cache_stats``).
+
+    ``static`` (tier-2 specialisation) carries facts inferred from one
+    concrete argument signature (``ir.analysis.infer_static_shapes``): when
+    present, ``Size`` expressions fold to prebuilt constants, iota /
+    replicate / histogram extents become compile-time ints (small iotas are
+    prebuilt outright), and the reduce fast path is picked by the statically
+    known extent.  ``self.folds`` counts the folds performed (surfaced as
+    ``plan_cache_stats()["spec_folds"]``).  A plan lowered with
+    ``static=None`` is fully shape-generic — bitwise-identical results are
+    the invariant between the two, asserted by the cache test suite.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, static: Optional[StaticInfo] = None) -> None:
         self.slots: Dict[str, int] = {}
         self.fused = 0
+        self.static = static
+        self.folds = 0
+
+    def static_int(self, a: Atom) -> Optional[int]:
+        """The compile-time value of a lane-uniform integer atom, if known."""
+        if isinstance(a, Const):
+            return int(a.value)
+        if self.static is not None:
+            v = self.static.int_of(a.name)
+            if v is not None:
+                self.folds += 1
+                return int(v)
+        return None
+
+    def static_extent(self, arrs) -> Optional[int]:
+        """The statically known leading extent of a SOAC's input arrays."""
+        if self.static is None or not arrs:
+            return None
+        s = self.static.shape(arrs[0].name)
+        if s is not None and len(s) >= 1:
+            self.folds += 1
+            return int(s[0])
+        return None
 
     def slot(self, name: str) -> int:
         s = self.slots.get(name)
@@ -221,9 +285,14 @@ class _PlanCompiler:
         return lambda regs, _bv=bv: _bv
 
     def int_reader(self, a: Atom, what: str) -> Callable:
-        """Accessor for a lane-uniform integer (iota/replicate/hist extents)."""
-        if isinstance(a, Const):
-            n = int(a.value)
+        """Accessor for a lane-uniform integer (iota/replicate/hist extents).
+
+        Constants — literal or statically inferred from the specialisation
+        signature — resolve at compile time; everything else reads the
+        register file and validates lane-uniformity per call.
+        """
+        n = self.static_int(a)
+        if n is not None:
             return lambda eng, _n=n: _n
         rd = self.reader(a)
         return lambda eng, _rd=rd, _w=what: _uniform_int(_rd(eng.regs), _w)
@@ -400,8 +469,19 @@ class _PlanCompiler:
             return self._compile_update(e), False
 
         if isinstance(e, Iota):
-            rn = self.int_reader(e.n, "iota length")
             dt = np_dtype(e.elem)
+            if self.static is not None:
+                n = self.static_int(e.n)
+                if n is not None and 0 <= n <= _IOTA_PREBUILD_MAX:
+                    # Specialised lowering: the array is a compile-time
+                    # constant.  Hand out a fresh copy per call (memcpy, no
+                    # extent resolution or arange fill) — unlike the shared
+                    # scalar Const BVs, an array could escape as a function
+                    # result, and a caller mutating it must not corrupt the
+                    # cached plan.
+                    arr = np.arange(n, dtype=dt)
+                    return (lambda eng, _a=arr: BV(_a.copy(), 0)), False
+            rn = self.int_reader(e.n, "iota length")
 
             def fn(eng, _rn=rn, _dt=dt):
                 return BV(np.arange(_rn(eng), dtype=_dt), 0)
@@ -437,6 +517,14 @@ class _PlanCompiler:
             return fn, False
 
         if isinstance(e, Size):
+            if self.static is not None:
+                s = self.static.shape(e.arr.name)
+                if s is not None and -len(s) <= e.dim < len(s):
+                    # Specialised lowering: the extent is determined by the
+                    # signature — no register read, no pshape() walk.
+                    self.folds += 1
+                    bv = BV(np.asarray(np.int64(s[e.dim])), 0)
+                    return (lambda eng, _bv=bv: _bv), False
             rd = self.reader(e.arr)
             dim = e.dim
 
@@ -569,6 +657,43 @@ class _PlanCompiler:
         if op is not None:
             ufunc = _UFUNC[op]
             fold = not _ne_is_identity(op, e.nes[0])
+            ext = self.static_extent(e.arrs)
+            if ext == 0:
+                # Specialised lowering, extent 0: the reduce is the neutral
+                # element — no ufunc launch at all.
+                def empty(eng, _arrs=arr_rds, _ne=ne_rds[0]):
+                    d = len(eng.bstack)
+                    args, _n = _map_args_rt(eng, _arrs)
+                    data = np.asarray(args[0].data)
+                    nd = _expand(_ne(eng.regs), d)
+                    shape = data.shape[:d] + data.shape[d + 1:]
+                    return (BV(np.broadcast_to(nd, shape).copy(), d),)
+
+                return empty
+            if ext == 1:
+                # Specialised lowering, extent 1: a reduction over one
+                # element is that element (plus the neutral fold).
+                def one(eng, _arrs=arr_rds, _ne=ne_rds[0], _uf=ufunc, _fold=fold):
+                    d = len(eng.bstack)
+                    args, _n = _map_args_rt(eng, _arrs)
+                    red = np.take(np.asarray(args[0].data), 0, axis=d)
+                    if _fold:
+                        red = _uf(_expand(_ne(eng.regs), d), red)
+                    return (BV(red, d),)
+
+                return one
+            if ext is not None:
+                # Specialised lowering, known extent >= 2: the empty branch
+                # is dead, compile it away.
+                def fast_nz(eng, _arrs=arr_rds, _ne=ne_rds[0], _uf=ufunc, _fold=fold):
+                    d = len(eng.bstack)
+                    args, _n = _map_args_rt(eng, _arrs)
+                    red = _uf.reduce(np.asarray(args[0].data), axis=d)
+                    if _fold:
+                        red = _uf(_expand(_ne(eng.regs), d), red)
+                    return (BV(red, d),)
+
+                return fast_nz
 
             def fast(eng, _arrs=arr_rds, _ne=ne_rds[0], _uf=ufunc, _fold=fold):
                 d = len(eng.bstack)
@@ -591,7 +716,21 @@ class _PlanCompiler:
             mop, mlam = rm
             ufunc = _UFUNC[mop]
             fold = not _ne_is_identity(mop, e.nes[0])
+            ext = self.static_extent(e.arrs)
             mp = self._compile_map_part(mlam)
+
+            if ext is not None and ext > 0:
+                # Specialised lowering: the extent is known nonzero, the
+                # empty branch is dead.
+                def fused_nz(eng, _arrs=arr_rds, _ne=ne_rds[0], _mp=mp, _uf=ufunc, _fold=fold):
+                    d = len(eng.bstack)
+                    args, n = _map_args_rt(eng, _arrs)
+                    red = _uf.reduce(_mp(eng, args, n), axis=d)
+                    if _fold:
+                        red = _uf(_expand(_ne(eng.regs), d), red)
+                    return (BV(red, d),)
+
+                return fused_nz
 
             def fused(eng, _arrs=arr_rds, _ne=ne_rds[0], _mp=mp, _uf=ufunc, _fold=fold):
                 d = len(eng.bstack)
@@ -672,7 +811,22 @@ class _PlanCompiler:
             mop, mlam = rm
             ufunc = _UFUNC[mop]
             fold = not _ne_is_identity(mop, e.nes[0])
+            ext = self.static_extent(e.arrs)
             mp = self._compile_map_part(mlam)
+
+            if ext is not None and ext > 0:
+                # Specialised lowering: known nonzero extent, dead empty
+                # branch compiled away (the scan analogue of ``fused_nz``).
+                def fused_nz(eng, _arrs=arr_rds, _mp=mp, _uf=ufunc, _nes=ne_rds, _fold=fold):
+                    d = len(eng.bstack)
+                    args, n = _map_args_rt(eng, _arrs)
+                    acc = _uf.accumulate(_mp(eng, args, n), axis=d)
+                    if _fold:
+                        nd = np.expand_dims(_expand(_nes[0](eng.regs), d), axis=d)
+                        acc = _uf(nd, acc)
+                    return (BV(acc, d),)
+
+                return fused_nz
 
             def fused(eng, _arrs=arr_rds, _mp=mp, _uf=ufunc, _nes=ne_rds, _fold=fold):
                 d = len(eng.bstack)
@@ -1049,24 +1203,69 @@ class _PlanCompiler:
 
 
 class Plan:
-    """An executable lowering of one ``Fun``: flat instructions over slots."""
+    """An executable lowering of one ``Fun``: flat instructions over slots.
 
-    def __init__(self, fun: Fun) -> None:
+    With ``static=None`` the plan is fully shape-generic (tier 1 of the plan
+    cache — one lowering serves every concrete signature of a rank/dtype
+    signature).  With a ``StaticInfo`` the lowering folds everything the
+    concrete signature determines (tier 2 — see ``_PlanCompiler``); results
+    are bitwise identical either way.
+    """
+
+    def __init__(
+        self,
+        fun: Fun,
+        static: Optional[StaticInfo] = None,
+        spec_sig: Optional[tuple] = None,
+    ) -> None:
         self.fun = fun
-        c = _PlanCompiler()
+        self.specialized = static is not None
+        #: ``(payload shapes, batched flags)`` the specialised lowering is
+        #: valid for; ``run``/``run_batched`` enforce it — folded constants
+        #: silently produce wrong numbers on any other signature.
+        self.spec_sig = spec_sig
+        c = _PlanCompiler(static)
         self.param_slots = tuple(c.slot(p.name) for p in fun.params)
         self.param_types = tuple(p.type for p in fun.params)
         self.code = c.compile_body(fun.body)
         self.nslots = len(c.slots)
         #: Statements collapsed into fused scalar-run closures (recursive).
         self.fused_stms = c.fused
-        PLAN_STATS["fused_stms"] += c.fused
+        #: Compile-time folds performed by the specialised lowering.
+        self.spec_folds = c.folds
+        with _LOCK:
+            PLAN_STATS["fused_stms"] += c.fused
+            PLAN_STATS["spec_folds"] += c.folds
 
     def __repr__(self) -> str:
+        kind = "specialized " if self.specialized else ""
         return (
-            f"<Plan {self.fun.name}: {len(self.code[0])} instrs, "
-            f"{self.nslots} slots, {self.fused_stms} fused>"
+            f"<{kind}Plan {self.fun.name}: {len(self.code[0])} instrs, "
+            f"{self.nslots} slots, {self.fused_stms} fused, "
+            f"{self.spec_folds} folds>"
         )
+
+    def _check_spec_sig(self, args: Sequence[object], batched) -> None:
+        """Reject arguments outside a specialised plan's signature loudly —
+        constants folded for one signature are wrong for every other."""
+        if self.spec_sig is None:
+            return
+        exp_shapes, exp_flags = self.spec_sig
+        flags = tuple(batched) if batched is not None else (False,) * len(args)
+        if flags != exp_flags:
+            raise ExecError(
+                f"{self.fun.name}: plan specialised for batched flags "
+                f"{exp_flags}, called with {flags}"
+            )
+        for i, (a, f, exp) in enumerate(zip(args, flags, exp_shapes)):
+            s = np.asarray(a).shape
+            if f:
+                s = s[1:]
+            if tuple(s) != exp:
+                raise ExecError(
+                    f"{self.fun.name}: plan specialised for argument {i} "
+                    f"payload shape {exp}, got {tuple(s)}"
+                )
 
     def run(self, args: Sequence[object]) -> Tuple[object, ...]:
         if len(args) != len(self.param_slots):
@@ -1074,6 +1273,7 @@ class Plan:
                 f"{self.fun.name}: expected {len(self.param_slots)} arguments, "
                 f"got {len(args)}"
             )
+        self._check_spec_sig(args, None)
         eng = _Engine(self.nslots)
         regs = eng.regs
         for s, a, t in zip(self.param_slots, args, self.param_types):
@@ -1105,6 +1305,7 @@ class Plan:
             )
         if len(batched) != len(args):
             raise ExecError("run_batched: batched flags must match arguments")
+        self._check_spec_sig(args, batched)
         b = int(batch_size)
         eng = _Engine(self.nslots)
         eng.bstack.append(b)
@@ -1131,30 +1332,117 @@ class Plan:
         return tuple(out)
 
 
-def compile_plan(fun: Fun) -> Plan:
-    """Lower ``fun`` to a fresh (uncached) plan."""
-    return Plan(fun)
+def compile_plan(
+    fun: Fun,
+    args: Optional[Sequence[object]] = None,
+    batched: Optional[Sequence[bool]] = None,
+) -> Plan:
+    """Lower ``fun`` to a fresh (uncached) plan.
+
+    With ``args`` the lowering is specialised to their concrete shapes (the
+    tier-2 lowering, forced — no promotion threshold); without, it is the
+    shape-generic tier-1 lowering.
+    """
+    if args is None:
+        return Plan(fun)
+    return specialized_plan(fun, args, batched)
+
+
+def specialized_plan(
+    fun: Fun,
+    args: Sequence[object],
+    batched: Optional[Sequence[bool]] = None,
+) -> Plan:
+    """A fresh plan specialised to ``args``' concrete shapes (uncached).
+
+    ``batched`` flags mark arguments whose leading axis is the batch axis of
+    ``run_batched`` — it is stripped before inference, since static facts
+    describe *payload* shapes.
+    """
+    flags = tuple(bool(f) for f in batched) if batched is not None else (False,) * len(args)
+    shapes = []
+    for a, f in zip(args, flags):
+        s = np.asarray(a).shape
+        shapes.append(tuple(s[1:]) if f else tuple(s))
+    return Plan(
+        fun,
+        static=infer_static_shapes(fun, shapes),
+        spec_sig=(tuple(shapes), flags),
+    )
 
 
 # ---------------------------------------------------------------------------
-# Plan cache
+# Plan cache — two tiers
 # ---------------------------------------------------------------------------
 
-#: Counters for the module-level plan cache (reset on clear): cache
-#: ``hits``/``misses``/``evictions`` plus ``fused_stms``, the total number of
-#: scalar statements collapsed into fused run closures across all lowerings.
-PLAN_STATS = {"hits": 0, "misses": 0, "evictions": 0, "fused_stms": 0}
+#: Counters for the module-level plan cache (reset on clear).  Every
+#: ``plan_for`` call increments exactly one of ``misses`` (a generic tier-1
+#: lowering — by construction one per rank/dtype signature), ``hits`` (the
+#: generic plan served a concrete signature), or ``specialized_hits`` (a
+#: promoted tier-2 plan served its exact signature); ``promotions`` counts
+#: tier-2 lowerings, ``evictions`` LRU drops across both tiers,
+#: ``fused_stms`` scalar statements collapsed into fused run closures, and
+#: ``spec_folds`` compile-time folds performed by specialised lowerings.
+PLAN_STATS = {
+    "hits": 0,
+    "misses": 0,
+    "specialized_hits": 0,
+    "promotions": 0,
+    "evictions": 0,
+    "fused_stms": 0,
+    "spec_folds": 0,
+}
 
-_CACHE = BoundedLRU()
+#: Tier 1: shape-generic plans keyed by ``(fun, backend, rank/dtype
+#: signature, batched flags)``.  Tier 2: specialised plans keyed by the full
+#: concrete ``(shape, dtype)`` signature.  ``_PROMO`` counts tier-1 hits per
+#: concrete signature, driving promotion; its entries are ``(fun, count)``
+#: pairs — the strong ``fun`` reference (identity-checked on read) upholds
+#: the same id-recycling soundness invariant as the plan tiers.  All three
+#: are mutated only under ``_LOCK`` together with ``PLAN_STATS`` (shard
+#: thread mode resolves plans from pool workers).
+_GENERIC = BoundedLRU()
+_SPECIAL = BoundedLRU()
+_PROMO = BoundedLRU()
+_LOCK = threading.RLock()
+_MISS = object()
 
 _DEFAULT_CACHE_SIZE = 512
 
 
+def specialize_enabled() -> bool:
+    """Whether tier-2 specialisation is on (``REPRO_PLAN_SPECIALIZE``,
+    default on; ``0``/``off``/``false``/``no`` disable)."""
+    return os.environ.get("REPRO_PLAN_SPECIALIZE", "1").lower() not in (
+        "0",
+        "off",
+        "false",
+        "no",
+    )
+
+
+def _specialize_after() -> int:
+    """Tier-1 hits on one concrete signature before promotion
+    (``REPRO_PLAN_SPECIALIZE_AFTER``, default 2, min 1)."""
+    return max(1, env_capacity("REPRO_PLAN_SPECIALIZE_AFTER", 2))
+
+
 def _sig_of(args: Sequence[object]) -> tuple:
+    """The concrete (tier-2) signature: per-arg shape and dtype."""
     sig = []
     for a in args:
         arr = np.asarray(a)
         sig.append((arr.shape, arr.dtype.str))
+    return tuple(sig)
+
+
+def _generic_sig_of(args: Sequence[object]) -> tuple:
+    """The generic (tier-1) signature: per-arg rank and dtype — concrete
+    extents dropped, so a D0→D6 shape sweep shares one entry."""
+    sig = []
+    for a in args:
+        arr = np.asarray(a)
+        sig.append((arr.ndim, arr.dtype.str))
     return tuple(sig)
 
 
@@ -1164,47 +1452,81 @@ def plan_for(
     batched: Optional[Sequence[bool]] = None,
     backend: str = "plan",
 ) -> Plan:
-    """The cached plan for ``fun`` specialised to ``args``' shapes/dtypes.
+    """The cached plan for ``fun`` given ``args``' shapes/dtypes — two tiers.
 
-    The cache key is ``(id(fun), backend, signature, batched-flags)`` — the
-    ``backend`` dimension (the slot reserved since PR 1) keeps entries
-    lowered on behalf of different executors apart, so the shard backend's
-    chunk/prefix/suffix plans for a ``Fun`` can never collide with plain
-    plan-backend entries for the same object.  The cached ``Plan`` holds a
-    strong reference to its ``fun``, so keyed ids cannot be recycled while
-    their entries live.  The cache is an LRU bounded by
-    ``REPRO_PLAN_CACHE_SIZE`` entries (default 512, ``0`` unbounded) so
-    long sessions over many functions/signatures cannot leak plans without
-    bound; evictions are counted in ``plan_cache_stats``.  Entries never go
-    stale (``Fun`` is immutable); ``clear_plan_cache`` drops everything.
+    **Tier 1 (generic):** keyed by ``(id(fun), backend, rank/dtype
+    signature, batched flags)`` — concrete extents are *not* part of the
+    key, so sweeping a problem-size axis (GMM D0→D6, BA camera counts,
+    shard chunk extents) re-uses one lowering instead of re-lowering and
+    evicting per shape.  The ``backend`` dimension keeps entries lowered on
+    behalf of different executors apart (shard chunk plans can never
+    collide with plain plan-backend entries for the same ``Fun``).
+
+    **Tier 2 (specialised, ``REPRO_PLAN_SPECIALIZE``):** after a concrete
+    ``(shape, dtype)`` signature scores ``REPRO_PLAN_SPECIALIZE_AFTER``
+    tier-1 hits, it is promoted: a plan is re-lowered with the signature's
+    static facts folded in (``Size`` constants, prebuilt iotas, extent-picked
+    reduce strategies — see ``_PlanCompiler``) and served for that exact
+    signature from then on.  Promotion is a pure optimisation: specialised
+    and generic plans agree bitwise.
+
+    Cached plans hold strong references to their ``fun``, so keyed ids
+    cannot be recycled while entries live; both tiers are LRUs bounded by
+    ``REPRO_PLAN_CACHE_SIZE`` entries each (default 512, ``0`` unbounded)
+    and entries never go stale (``Fun`` is immutable).  The whole lookup —
+    cache mutation, counters, and any lowering — runs under one re-entrant
+    lock, so concurrent shard workers can never corrupt the LRU order or
+    lose stat increments (and a plan is lowered once, not once per racing
+    thread).
     """
-    key = (
-        id(fun),
-        backend,
-        _sig_of(args),
-        tuple(batched) if batched is not None else None,
-    )
-    plan = _CACHE.get(key)
-    if plan is None:
-        PLAN_STATS["misses"] += 1
-        plan = Plan(fun)
-        cap = env_capacity("REPRO_PLAN_CACHE_SIZE", _DEFAULT_CACHE_SIZE)
-        PLAN_STATS["evictions"] += _CACHE.put(key, plan, cap)
-    else:
+    flags = tuple(batched) if batched is not None else None
+    base = (id(fun), backend, flags)
+    gkey = base + (_generic_sig_of(args),)
+    cap = env_capacity("REPRO_PLAN_CACHE_SIZE", _DEFAULT_CACHE_SIZE)
+    with _LOCK:
+        plan = _GENERIC.get(gkey, _MISS)
+        if plan is _MISS:
+            PLAN_STATS["misses"] += 1
+            plan = Plan(fun)
+            PLAN_STATS["evictions"] += _GENERIC.put(gkey, plan, cap)
+            return plan
+        skey = base + (_sig_of(args),)
+        sp = _SPECIAL.get(skey, _MISS)
+        if sp is not _MISS:
+            PLAN_STATS["specialized_hits"] += 1
+            return sp
         PLAN_STATS["hits"] += 1
-    return plan
+        if specialize_enabled():
+            ent = _PROMO.get(skey)
+            n = (ent[1] if ent is not None and ent[0] is fun else 0) + 1
+            _PROMO.put(skey, (fun, n), cap * 8 if cap > 0 else 0)
+            if n >= _specialize_after():
+                sp = specialized_plan(fun, args, batched)
+                PLAN_STATS["promotions"] += 1
+                PLAN_STATS["evictions"] += _SPECIAL.put(skey, sp, cap)
+                return sp
+        return plan
 
 
 def plan_cache_stats() -> Dict[str, int]:
-    """A snapshot of the cache counters plus the current entry count."""
-    return {**PLAN_STATS, "entries": len(_CACHE)}
+    """A snapshot of the cache counters plus the current entry counts
+    (``entries`` — generic tier, ``specialized_entries`` — specialised)."""
+    with _LOCK:
+        return {
+            **PLAN_STATS,
+            "entries": len(_GENERIC),
+            "specialized_entries": len(_SPECIAL),
+        }
 
 
 def clear_plan_cache() -> None:
-    """Drop every cached plan and reset all counters."""
-    _CACHE.clear()
-    for k in PLAN_STATS:
-        PLAN_STATS[k] = 0
+    """Drop every cached plan (both tiers) and reset all counters."""
+    with _LOCK:
+        _GENERIC.clear()
+        _SPECIAL.clear()
+        _PROMO.clear()
+        for k in PLAN_STATS:
+            PLAN_STATS[k] = 0
 
 
 def run_fun_plan(fun: Fun, args: Sequence[object]) -> Tuple[object, ...]:

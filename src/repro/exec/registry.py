@@ -28,6 +28,7 @@ rest of the API accept the new name.
 """
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
@@ -39,9 +40,17 @@ __all__ = [
     "register_backend",
     "unregister_backend",
     "get_backend",
+    "default_backend",
     "available_backends",
     "batched_backends",
+    "DEFAULT_BACKEND",
 ]
+
+#: Fallback default when ``REPRO_BACKEND`` is unset: the plan compiler —
+#: the paper's compiled-bulk-code executor, and with the two-tier cache the
+#: cheapest repeat-call path.  Semantics are identical across backends (the
+#: parity suite asserts it), so the default is purely a performance choice.
+DEFAULT_BACKEND = "plan"
 
 
 @dataclass(frozen=True)
@@ -109,6 +118,21 @@ def get_backend(name: str) -> Backend:
             f"{', '.join(available_backends())}"
         )
     return be
+
+
+def default_backend() -> str:
+    """The session-default backend name, shared by every entry point.
+
+    ``REPRO_BACKEND`` selects it (read per call, so tests/operators can flip
+    it), falling back to ``DEFAULT_BACKEND``; either way the name is
+    validated against the registry so a typo fails loudly at the first
+    dispatch, naming the registered set.  ``Compiled.__call__``,
+    ``call_batched`` and the ``grad``/``value_and_grad``/``jacobian``/
+    ``hessian_diag`` wrappers all resolve ``backend=None`` through this one
+    function — the former per-entry-point defaults drifted ("vec" here,
+    "plan" there).
+    """
+    return get_backend(os.environ.get("REPRO_BACKEND", DEFAULT_BACKEND)).name
 
 
 def available_backends() -> Tuple[str, ...]:

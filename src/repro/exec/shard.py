@@ -41,10 +41,12 @@ persistent pool; ``REPRO_SHARD_MODE`` selects it:
 * ``thread`` (default) — a ``ThreadPoolExecutor``.  Chunk inputs are
   zero-copy NumPy views of the parent's arrays (outputs are fresh per-chunk
   arrays the parent recombines by concatenation), and NumPy releases the
-  GIL inside the bulk ufunc loops where the time goes.  The chunk plan is
-  lowered *once* in the parent
-  (plans are shape-generic) and shared by every worker — ``Plan.run`` keeps
-  all mutable state per call, so concurrent runs are safe.
+  GIL inside the bulk ufunc loops where the time goes.  Each worker
+  resolves its chunk plan through the (thread-safe) two-tier plan cache:
+  chunks of every extent share one tier-1 shape-generic lowering, and hot
+  chunk-extent buckets are promoted to tier-2 specialised plans —
+  ``Plan.run`` keeps all mutable state per call, so concurrent runs are
+  safe.
 * ``process`` — a spawn-based ``ProcessPoolExecutor`` for workloads whose
   Python-side dispatch would serialise on the GIL.  ndarray inputs/outputs
   travel through ``multiprocessing.shared_memory`` segments (pickled inline
@@ -476,7 +478,6 @@ def _dispatch_process(
 
 def _dispatch(
     fun: Fun,
-    sig_args: Sequence[object],
     arg_lists: Sequence[Sequence[object]],
     batched=None,
     batch_ns=None,
@@ -484,9 +485,13 @@ def _dispatch(
     """Run ``fun`` over every chunk argument list, in order.
 
     Thread mode (and the in-process fallback for a broken process pool)
-    lowers one shared plan in the parent and fans ``Plan.run`` out over the
-    pool; process mode ships the pickled ``Fun`` plus shm descriptors to
-    ``_process_task``.  Results always come back in chunk order.
+    resolves the chunk plan *per chunk* through the two-tier plan cache —
+    chunks of every extent share one tier-1 generic entry (which retired
+    this module's former private plan-sharing), and hot chunk-extent
+    buckets get promoted to tier-2 specialised plans (``plan_for`` is
+    thread-safe, so pool workers resolve concurrently).  Process mode ships
+    the pickled ``Fun`` plus shm descriptors to ``_process_task``.  Results
+    always come back in chunk order.
     """
     global _PROCESS_BROKEN
     workers = shard_workers()
@@ -511,25 +516,27 @@ def _dispatch(
             SHARD_STATS["pool_errors"] += 1
             shutdown_shard_pool()
             _PROCESS_BROKEN = True
-    plan = plan_for(fun, sig_args, batched, backend="shard")
+
+    def run_chunk(args, bn=None):
+        plan = plan_for(fun, args, batched, backend="shard")
+        if batched is None:
+            return plan.run(args)
+        return plan.run_batched(args, batched, bn)
 
     def serially():
         if batched is None:
-            return [plan.run(args) for args in arg_lists]
-        return [
-            plan.run_batched(args, batched, batch_ns[i])
-            for i, args in enumerate(arg_lists)
-        ]
+            return [run_chunk(args) for args in arg_lists]
+        return [run_chunk(args, batch_ns[i]) for i, args in enumerate(arg_lists)]
 
     if workers <= 1 or len(arg_lists) <= 1:
         return serially()
     try:
         pool = _get_pool("thread", workers)
         if batched is None:
-            futs = [pool.submit(plan.run, args) for args in arg_lists]
+            futs = [pool.submit(run_chunk, args) for args in arg_lists]
         else:
             futs = [
-                pool.submit(plan.run_batched, args, batched, batch_ns[i])
+                pool.submit(run_chunk, args, batch_ns[i])
                 for i, args in enumerate(arg_lists)
             ]
     except RuntimeError:
@@ -579,7 +586,7 @@ def run_fun_shard(fun: Fun, args: Sequence[object]) -> Tuple[object, ...]:
     bounds = _chunk_bounds(n)
     bcast = [pre[i] for i in split.chunk_broadcast]
     arg_lists = [[v[lo:hi] for v in shard_vals] + bcast for lo, hi in bounds]
-    outs = _dispatch(split.chunk_fun, arg_lists[0], arg_lists)
+    outs = _dispatch(split.chunk_fun, arg_lists)
     if split.kind == "map":
         combined = [
             np.concatenate([np.asarray(o[i]) for o in outs], axis=0)
@@ -630,9 +637,7 @@ def run_fun_shard_batched(
         for lo, hi in bounds
     ]
     batch_ns = [hi - lo for lo, hi in bounds]
-    outs = _dispatch(
-        fun, arg_lists[0], arg_lists, batched=batched, batch_ns=batch_ns
-    )
+    outs = _dispatch(fun, arg_lists, batched=batched, batch_ns=batch_ns)
     SHARD_STATS["batched_calls"] += 1
     return tuple(
         np.concatenate([np.asarray(o[i]) for o in outs], axis=0)

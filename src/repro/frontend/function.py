@@ -34,7 +34,12 @@ from typing import Sequence, Tuple
 
 from ..exec.cost import Cost, CostRecorder
 from ..exec.interp import RefInterp
-from ..exec.registry import available_backends, batched_backends, get_backend
+from ..exec.registry import (
+    available_backends,
+    batched_backends,
+    default_backend,
+    get_backend,
+)
 from ..ir.ast import Fun
 from ..ir.pretty import pretty
 from ..util import ReproError
@@ -58,10 +63,12 @@ def __getattr__(name: str):
 class Compiled:
     """A runnable IR function.
 
-    ``backend="vec"`` (default) uses the vectorised SIMT simulator; any
-    other registered backend name selects that executor (``ref``, ``plan``,
-    ``shard``, or a custom registration).  ``cost()`` measures the
-    cost-model counters of a run (reference interpretation).
+    ``backend=None`` (default) resolves through the registry-level
+    ``default_backend()`` — ``REPRO_BACKEND`` or the plan compiler — so
+    every entry point in the system shares one default; any registered
+    backend name selects that executor explicitly (``ref``, ``vec``,
+    ``plan``, ``shard``, or a custom registration).  ``cost()`` measures
+    the cost-model counters of a run (reference interpretation).
 
     ``passes`` selects the optimisation passes applied at construction (a
     sequence of registered pass names — see ``opt.pipeline``); None means
@@ -92,8 +99,8 @@ class Compiled:
         """Pretty-printed IR (after optimisation)."""
         return pretty(self.fun)
 
-    def __call__(self, *args, backend: str = "vec"):
-        res = get_backend(backend).run(self.fun, args)
+    def __call__(self, *args, backend: "str | None" = None):
+        res = get_backend(backend or default_backend()).run(self.fun, args)
         return res[0] if len(res) == 1 else res
 
     def call_batched(
@@ -101,7 +108,7 @@ class Compiled:
         args: Sequence[object],
         batched: Sequence[bool],
         batch_size: int,
-        backend: str = "plan",
+        backend: "str | None" = None,
     ) -> Tuple[object, ...]:
         """Evaluate once with the flagged arguments batched on a leading axis.
 
@@ -109,10 +116,11 @@ class Compiled:
         axis.  Only backends with the ``batched`` capability support this;
         use a Python loop for ``ref``.
         """
-        be = get_backend(backend)
+        name = backend or default_backend()
+        be = get_backend(name)
         if be.run_batched is None:
             raise ReproError(
-                f"backend {backend!r} cannot run batched seeds; "
+                f"backend {name!r} cannot run batched seeds; "
                 f"choose from {batched_backends()}"
             )
         return be.run_batched(self.fun, args, batched, batch_size)

@@ -69,42 +69,66 @@ def fresh(base: str = "t") -> str:
     return _GLOBAL_SUPPLY.fresh(base)
 
 
+#: Sentinel distinguishing "no entry" from a stored ``None`` in
+#: ``BoundedLRU.get`` — a stored ``None`` is a real value and must both be
+#: returned and refreshed as most-recently used.
+_MISSING = object()
+
+
 class BoundedLRU:
     """An access-ordered mapping bounded to a capacity supplied at put time.
 
-    Shared by the optimisation memo and the plan cache: both key immutable
-    values by object identity (holding strong references so ids cannot be
-    recycled while entries live) and bound growth with an env-configured
-    capacity read per call, so the two stay behaviourally identical.
+    Shared by the optimisation memo, the analysis memos, and the plan cache:
+    all key immutable values by object identity (holding strong references so
+    ids cannot be recycled while entries live) and bound growth with an
+    env-configured capacity read per call, so they stay behaviourally
+    identical.
+
+    Thread safety: every operation takes an internal re-entrant lock —
+    ``OrderedDict.move_to_end``/``popitem`` are not safe under concurrent
+    mutation (the shard executor's thread mode resolves plans from pool
+    workers).  Compound caller sequences (get-then-put) remain benign races:
+    the worst case is one duplicate lowering, never a corrupted mapping.
     """
 
     def __init__(self) -> None:
         self._d: "OrderedDict[object, object]" = OrderedDict()
+        self._lock = threading.RLock()
 
-    def get(self, key):
-        """The stored value (refreshed as most-recent), or None."""
-        v = self._d.get(key)
-        if v is not None:
+    def get(self, key, default=None):
+        """The stored value (refreshed as most-recent), or ``default``.
+
+        A stored ``None`` is a hit, not a miss: it is refreshed and returned
+        like any other value (callers that store ``None`` distinguish a miss
+        by passing their own sentinel ``default``).
+        """
+        with self._lock:
+            v = self._d.get(key, _MISSING)
+            if v is _MISSING:
+                return default
             self._d.move_to_end(key)
-        return v
+            return v
 
     def put(self, key, value, capacity: int) -> int:
         """Store ``key``; evict least-recent entries beyond ``capacity``
         (``capacity <= 0`` means unbounded).  Returns the eviction count."""
-        self._d[key] = value
-        self._d.move_to_end(key)
-        n = 0
-        if capacity > 0:
-            while len(self._d) > capacity:
-                self._d.popitem(last=False)
-                n += 1
-        return n
+        with self._lock:
+            self._d[key] = value
+            self._d.move_to_end(key)
+            n = 0
+            if capacity > 0:
+                while len(self._d) > capacity:
+                    self._d.popitem(last=False)
+                    n += 1
+            return n
 
     def __len__(self) -> int:
-        return len(self._d)
+        with self._lock:
+            return len(self._d)
 
     def clear(self) -> None:
-        self._d.clear()
+        with self._lock:
+            self._d.clear()
 
 
 def env_capacity(var: str, default: int) -> int:

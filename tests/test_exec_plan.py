@@ -154,10 +154,12 @@ def test_plan_cache_hit_skips_recompile():
     s2 = plan_cache_stats()
     assert s2["misses"] == s1["misses"], "repeat same-shape call re-lowered a plan"
     assert s2["hits"] == s1["hits"] + 2
-    # A new shape signature is a distinct specialisation (one more miss).
+    # A new shape of the same rank/dtype signature hits the *generic* tier
+    # now — no re-lowering (the tier-1 point of the two-tier cache).
     fc(rng.standard_normal(9), backend="plan")
     s3 = plan_cache_stats()
-    assert s3["misses"] == s2["misses"] + 1
+    assert s3["misses"] == s2["misses"], "new extent re-lowered a generic plan"
+    assert s3["hits"] + s3["specialized_hits"] == s2["hits"] + s2["specialized_hits"] + 1
 
 
 def test_plan_cache_counts_jacobian_reuse():
@@ -268,37 +270,42 @@ def test_plan_fused_runs_inside_map_lambdas():
     clear_plan_cache()
 
 
+def _distinct_funs(k):
+    """k structurally distinct compiled functions (distinct cache keys —
+    one generic tier-1 entry each; extents never make new entries now)."""
+    funs = []
+    for i in range(k):
+        c = float(i + 2)
+        funs.append(rp.compile(rp.trace_like(lambda xs, _c=c: rp.sum(xs) * _c, (np.ones(4),))))
+    return funs
+
+
 def test_plan_cache_lru_eviction(monkeypatch):
     monkeypatch.setenv("REPRO_PLAN_CACHE_SIZE", "2")
     clear_plan_cache()
-
-    def f(xs):
-        return rp.sum(xs) * 2.0
-
-    fc = rp.compile(rp.trace_like(f, (np.ones(4),)))
-    for n in (3, 4, 5, 6):  # four distinct shape signatures
-        fc(np.ones(n), backend="plan")
+    funs = _distinct_funs(4)  # four distinct generic entries
+    for fc in funs:
+        fc(np.ones(3), backend="plan")
     st = plan_cache_stats()
     assert st["entries"] <= 2
     assert st["evictions"] >= 2
-    # Evicted signatures re-lower on demand and still run correctly.
-    np.testing.assert_allclose(fc(np.ones(3), backend="plan"), 6.0)
+    # Evicted functions re-lower on demand and still run correctly.
+    np.testing.assert_allclose(funs[0](np.ones(3), backend="plan"), 6.0)
     clear_plan_cache()
 
 
 def test_plan_cache_lru_keeps_recently_used(monkeypatch):
     monkeypatch.setenv("REPRO_PLAN_CACHE_SIZE", "2")
     clear_plan_cache()
-
-    def f(xs):
-        return rp.sum(xs)
-
-    fc = rp.compile(rp.trace_like(f, (np.ones(4),)))
-    fc(np.ones(3), backend="plan")  # miss: sig 3
-    fc(np.ones(4), backend="plan")  # miss: sig 4
-    fc(np.ones(3), backend="plan")  # hit: sig 3 -> most recent
-    fc(np.ones(5), backend="plan")  # miss: evicts sig 4, not sig 3
-    before = plan_cache_stats()["hits"]
-    fc(np.ones(3), backend="plan")  # still cached
-    assert plan_cache_stats()["hits"] == before + 1
+    f3, f4, f5 = _distinct_funs(3)
+    f3(np.ones(3), backend="plan")  # miss: fun 3
+    f4(np.ones(3), backend="plan")  # miss: fun 4
+    f3(np.ones(3), backend="plan")  # hit: fun 3 -> most recent
+    f5(np.ones(3), backend="plan")  # miss: evicts fun 4, not fun 3
+    s = plan_cache_stats()
+    before = s["hits"] + s["specialized_hits"]
+    f3(np.ones(3), backend="plan")  # still cached
+    s2 = plan_cache_stats()
+    assert s2["hits"] + s2["specialized_hits"] == before + 1
+    assert s2["misses"] == s["misses"]
     clear_plan_cache()
