@@ -1,4 +1,4 @@
-"""Ablations A1–A7 (per DESIGN.md):
+"""Ablations A1–A8 (per DESIGN.md):
 
 A1  §6.1 accumulator→reduce on the matmul adjoint (the GMM/LSTM lever);
 A2  §4.3 strip-mining time–space trade-off (checkpoint memory vs re-exec);
@@ -9,7 +9,12 @@ A6  shard on/off on the GMM full Jacobian (batched forward seeds as the
     shard axis, plan backend vs the sharded executor);
 A7  plan-cache tier-2 specialisation on/off: a ≥5-signature shape sweep of
     one Fun (one tier-1 generic lowering) and Table 1 workloads, generic
-    vs shape-specialised plans.
+    vs shape-specialised plans;
+A8  static cost model on/off: cost-guided fusion (REPRO_FUSE_COST=on) vs
+    monotone fusion (=always) on the Table 5 GMM gradient and Table 3
+    kmeans gradient, and cost-derived shard chunk sizing vs the static
+    REPRO_SHARD_MIN_CHUNK/REPRO_SHARD_MAX_TASKS knobs on a map-kind shard
+    program — guided must be parity-safe (bitwise) and no slower.
 """
 import os
 
@@ -17,7 +22,7 @@ import numpy as np
 import pytest
 
 import repro as rp
-from repro.apps import ba, datagen, gmm
+from repro.apps import ba, datagen, gmm, kmeans
 from repro.core.api import vjp
 from repro.exec.cost import CostRecorder
 from repro.exec.interp import RefInterp
@@ -399,3 +404,123 @@ def test_ablation_a7_plan_specialize(benchmark, a7_workloads, monkeypatch):
     # "no slower than generic", with headroom for interpreter noise
     assert ts_sweep <= tg_sweep * 1.25, (ts_sweep, tg_sweep)
     assert ts_t1 <= tg_t1 * 1.25, (ts_t1, tg_t1)
+
+
+# --- A8: cost-model-guided decisions vs static heuristics ----------------------------
+
+#: Table 5 GMM gradient shape and Table 3 kmeans gradient shape, scaled down
+#: like every other ablation (the decision *parity* is what A8 asserts; the
+#: wall-clock ratio is recorded honestly at these sizes).
+GMM_A8 = (128, 8, 8)
+KMEANS_A8 = (8, 512, 4)
+
+
+def _a8_fusion_pair(monkeypatch, mode):
+    """Trace + differentiate the A8 workloads under one REPRO_FUSE_COST
+    mode.  The optimisation memo keys on the mode, so flipping the env var
+    between builds cannot serve stale fused programs."""
+    monkeypatch.setenv("REPRO_FUSE_COST", mode)
+    n, d, K = GMM_A8
+    gmm_args = datagen.gmm_instance(n, d, K, 0)[:4] + (1.0,)
+    g_gmm = vjp(rp.compile(gmm.build_ir(n, d, K)), wrt=[0, 1, 2])
+    k, kn, kd = KMEANS_A8
+    pts, ctr = datagen.kmeans_instance(k, kn, kd, 0)
+    g_km = vjp(rp.compile(kmeans.build_ir(kn, k, kd)), wrt=[1])
+    return (g_gmm, gmm_args), (g_km, (pts, ctr))
+
+
+def test_ablation_a8_cost_model(benchmark, monkeypatch):
+    from repro.opt.fusion import fusion_stats, reset_fusion_stats
+    from repro.exec.shard import reset_shard_stats, shard_stats, shutdown_shard_pool
+
+    # -- part 1: cost-guided vs monotone fusion --------------------------------
+    reset_fusion_stats()
+    (gg_on, gmm_args), (gk_on, km_args) = _a8_fusion_pair(monkeypatch, "on")
+    st_fuse = fusion_stats()
+    (gg_mono, _), (gk_mono, _) = _a8_fusion_pair(monkeypatch, "always")
+    s_on = count_soacs(gg_on.fun) + count_soacs(gk_on.fun)
+    s_mono = count_soacs(gg_mono.fun) + count_soacs(gk_mono.fun)
+
+    def run_pair(gg, gk):
+        out = []
+        for g, args in ((gg, gmm_args), (gk, km_args + (1.0,))):
+            res = g(*args, backend=BENCH_BACKEND)
+            out.extend(np.asarray(r) for r in (res if isinstance(res, tuple) else (res,)))
+        return out
+
+    res_on, res_mono = run_pair(gg_on, gk_on), run_pair(gg_mono, gk_mono)
+    for a, b in zip(res_on, res_mono):
+        np.testing.assert_array_equal(a, b)  # guided == monotone, bitwise
+
+    t_on = timeit(lambda: run_pair(gg_on, gk_on))
+    t_mono = timeit(lambda: run_pair(gg_mono, gk_mono))
+
+    # -- part 2: cost-derived chunking vs the static knobs --------------------
+    workers = min(4, os.cpu_count() or 1)
+    monkeypatch.setenv("REPRO_SHARD_WORKERS", str(workers))
+    xs = rng.standard_normal(200_000)
+    fc = rp.compile(
+        rp.trace_like(
+            lambda v: rp.map(lambda x: rp.sin(x) * rp.exp(-x * x) + x * 0.5, v), (xs,)
+        )
+    )
+
+    def shard_run():
+        return np.asarray(fc(xs, backend="shard"))
+
+    def measure(min_chunk, max_tasks):
+        """One configuration: warm twice (plan cache, pool, ufunc caches),
+        then take the median of 7 repeats — both configs measured the same
+        way so neither rides the other's warm-up."""
+        if min_chunk is None:
+            monkeypatch.delenv("REPRO_SHARD_MIN_CHUNK", raising=False)
+            monkeypatch.delenv("REPRO_SHARD_MAX_TASKS", raising=False)
+        else:
+            monkeypatch.setenv("REPRO_SHARD_MIN_CHUNK", min_chunk)
+            monkeypatch.setenv("REPRO_SHARD_MAX_TASKS", max_tasks)
+        reset_shard_stats()
+        res = shard_run()
+        chunks = shard_stats()["chunks"]
+        shard_run()
+        return res, chunks, timeit(shard_run, repeats=7)
+
+    r_guided, chunks_guided, t_guided = measure(None, None)
+    r_static, chunks_static, t_static = measure("1024", "16")
+    shutdown_shard_pool()
+    # map-kind shard points recombine by concatenation: chunk geometry can
+    # never change the numbers, so guided chunking is bitwise-safe.
+    np.testing.assert_array_equal(r_guided, r_static)
+
+    benchmark(lambda: run_pair(gg_on, gk_on))
+    write_table(
+        "ablation_a8_cost_model",
+        [
+            "A8: static cost model — guided vs cost-blind decisions",
+            f"fusion (GMM {GMM_A8} + kmeans {KMEANS_A8} gradients): guided "
+            f"{t_on*1000:.1f} ms / {s_on} SOACs, monotone {t_mono*1000:.1f} ms "
+            f"/ {s_mono} SOACs ({t_mono/t_on:.2f}x, cost_rejected="
+            f"{st_fuse['cost_rejected']})",
+            f"shard chunking (200k-elem map, {workers} workers): derived "
+            f"{t_guided*1000:.1f} ms / {chunks_guided} chunks, static knobs "
+            f"{t_static*1000:.1f} ms / {chunks_static} chunks "
+            f"({t_static/t_guided:.2f}x)",
+            "guided fusion accepts exactly the candidates the estimator",
+            "predicts to cut traffic (identical decisions on these programs,",
+            "bitwise-equal results); chunk counts now derive from estimated",
+            "per-element work against REPRO_COST_TASK_GRAIN instead of the",
+            "static REPRO_SHARD_MIN_CHUNK floor (kept as an override).",
+        ],
+        rows=[
+            bench_row("fusion/guided", seconds=t_on, soacs=s_on,
+                      cost_rejected=st_fuse["cost_rejected"]),
+            bench_row("fusion/monotone", seconds=t_mono, soacs=s_mono),
+            bench_row("chunking/derived", seconds=t_guided, backend="shard",
+                      chunks=chunks_guided, workers=workers),
+            bench_row("chunking/static_knobs", seconds=t_static, backend="shard",
+                      chunks=chunks_static, workers=workers),
+        ],
+    )
+    # guided must be >= 1.0x monotone/static up to timing noise
+    assert t_on <= t_mono * 1.15, (t_on, t_mono)
+    assert t_guided <= t_static * 1.25, (t_guided, t_static)
+    assert s_on == s_mono  # the gate accepted every profitable fusion

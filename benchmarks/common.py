@@ -33,6 +33,11 @@ from repro.exec.shard import shard_stats
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 os.makedirs(RESULTS_DIR, exist_ok=True)
 
+#: Repo root — ``write_table`` mirrors every JSON artifact here as
+#: ``BENCH_<table>.json`` so the cross-PR perf trajectory lives at the top
+#: level of the repository (the per-run copy stays in ``results/``).
+ROOT_DIR = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
 #: Backend every "ours" measurement runs on (tables 1/3/5 etc.); validated
 #: through the backend registry so a typo fails loudly here, not deep in
 #: dispatch half-way through a benchmark run.
@@ -56,8 +61,9 @@ def bench_row(name: str, seconds: Optional[float] = None, backend: Optional[str]
 def write_table(name: str, lines, rows=None) -> None:
     """Write a paper-style text table *and* a machine-readable artifact.
 
-    Every table emits ``results/BENCH_<name>.json`` so the perf trajectory
-    is trackable across PRs: the per-row measurements (``bench_row`` dicts
+    Every table emits ``results/BENCH_<name>.json`` — and mirrors it to the
+    repo root as ``BENCH_<name>.json`` — so the perf trajectory is
+    trackable across PRs: the per-row measurements (``bench_row`` dicts
     when the caller passes them), the backend, a snapshot of the plan-cache
     and shard counters at write time, and the human-readable lines.
     """
@@ -74,9 +80,10 @@ def write_table(name: str, lines, rows=None) -> None:
         "shard": shard_stats(),
         "lines": list(lines),
     }
-    with open(os.path.join(RESULTS_DIR, f"BENCH_{name}.json"), "w") as f:
-        json.dump(payload, f, indent=2, sort_keys=True, default=str)
-        f.write("\n")
+    blob = json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n"
+    for out_dir in (RESULTS_DIR, ROOT_DIR):
+        with open(os.path.join(out_dir, f"BENCH_{name}.json"), "w") as f:
+            f.write(blob)
     print("\n" + text)
 
 

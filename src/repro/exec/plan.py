@@ -45,8 +45,11 @@ module-level, lock-guarded cache with two tiers:
   separates entries lowered for the plan backend proper from those the
   shard executor lowers for its chunk functions.
 * **tier 2 (specialised, ``REPRO_PLAN_SPECIALIZE``, default on)** — after a
-  concrete ``(shape, dtype)`` signature scores
-  ``REPRO_PLAN_SPECIALIZE_AFTER`` (default 2) tier-1 hits, the plan is
+  concrete ``(shape, dtype)`` signature scores enough tier-1 hits that the
+  predicted specialisation savings amortise the estimated re-lowering cost
+  (``ir.cost_model.promotion_threshold``; signatures admitting no folds are
+  never promoted; ``REPRO_PLAN_SPECIALIZE_AFTER`` overrides with a bare
+  hit-count threshold), the plan is
   re-lowered with the signature's static facts folded in
   (``ir.analysis.infer_static_shapes``): ``Size`` expressions become
   prebuilt constants, iota/replicate/histogram extents become compile-time
@@ -1427,6 +1430,32 @@ def _specialize_after() -> int:
     return max(1, env_capacity("REPRO_PLAN_SPECIALIZE_AFTER", 2))
 
 
+def _payload_shapes(args: Sequence[object], batched) -> list:
+    """Concrete payload shapes (batch axis stripped from flagged args)."""
+    flags = tuple(bool(f) for f in batched) if batched is not None else (False,) * len(args)
+    out = []
+    for a, f in zip(args, flags):
+        s = np.asarray(a).shape
+        out.append(tuple(s[1:]) if f else tuple(s))
+    return out
+
+
+def _promo_threshold(fun: Fun, args, batched) -> Optional[int]:
+    """Tier-1 hit count at which this signature gets promoted.
+
+    ``REPRO_PLAN_SPECIALIZE_AFTER`` in the environment overrides with the
+    old bare counter; otherwise the threshold is derived from the static
+    cost model (``ir.cost_model.promotion_threshold``): the smallest hit
+    count whose predicted per-call specialisation savings amortise the
+    estimated re-lowering cost — signatures whose shapes admit *no*
+    compile-time folds are never promoted (``None``)."""
+    if "REPRO_PLAN_SPECIALIZE_AFTER" in os.environ:
+        return _specialize_after()
+    from ..ir.cost_model import promotion_threshold
+
+    return promotion_threshold(fun, _payload_shapes(args, batched))
+
+
 def _sig_of(args: Sequence[object]) -> tuple:
     """The concrete (tier-2) signature: per-arg shape and dtype."""
     sig = []
@@ -1498,9 +1527,15 @@ def plan_for(
         PLAN_STATS["hits"] += 1
         if specialize_enabled():
             ent = _PROMO.get(skey)
-            n = (ent[1] if ent is not None and ent[0] is fun else 0) + 1
-            _PROMO.put(skey, (fun, n), cap * 8 if cap > 0 else 0)
-            if n >= _specialize_after():
+            if ent is not None and ent[0] is fun:
+                n, thr = ent[1] + 1, ent[2]
+            else:
+                # First tier-1 hit of this signature: derive (and memoise)
+                # its promotion threshold from the cost model — the
+                # amortisation estimate runs once per signature, not per hit.
+                n, thr = 1, _promo_threshold(fun, args, batched)
+            _PROMO.put(skey, (fun, n, thr), cap * 8 if cap > 0 else 0)
+            if thr is not None and n >= thr:
                 sp = specialized_plan(fun, args, batched)
                 PLAN_STATS["promotions"] += 1
                 PLAN_STATS["evictions"] += _SPECIAL.put(skey, sp, cap)

@@ -20,11 +20,14 @@ Execution model
   chunks; each chunk executes the pre-lowered chunk plan on the pool; the
   chunk results are recombined (concatenation for a ``map`` shard point, one
   associative combine for a ``reduce``/redomap) and the suffix runs once in
-  the parent.  Chunk boundaries depend only on the extent and the env knobs —
-  *never* on the worker count — so results are identical at 1 and N workers.
+  the parent.  Chunk boundaries depend only on the extent, the static cost
+  estimate of the shard point (each chunk targets ~``REPRO_COST_TASK_GRAIN``
+  estimated work; ``REPRO_SHARD_MIN_CHUNK`` overrides with a fixed floor)
+  and the env knobs — *never* on the worker count — so results are
+  identical at 1 and N workers.
 * **not shardable** (scans, data-dependent loops, scalar programs, extents
-  below ``REPRO_SHARD_MIN_CHUNK``) — falls back to the plan backend,
-  counted in ``shard_stats()["fallback_calls"]``.
+  below the derived/overridden chunk floor) — falls back to the plan
+  backend, counted in ``shard_stats()["fallback_calls"]``.
 
 ``run_fun_shard_batched`` shards the *batch* axis of a batched multi-seed
 call instead — no analysis needed, the axis is parallel by construction.
@@ -67,6 +70,7 @@ from __future__ import annotations
 
 import atexit
 import itertools
+import math
 import os
 import pickle
 import threading
@@ -82,6 +86,7 @@ import numpy as np
 
 from ..ir.analysis import ShardSplit, shard_split
 from ..ir.ast import Fun
+from ..ir.cost_model import soac_elem_cost, task_grain
 from ..util import BoundedLRU, env_capacity
 from .plan import Plan, plan_for, run_fun_plan, run_fun_plan_batched
 from .vector import _UFUNC
@@ -119,8 +124,18 @@ def shard_mode() -> str:
 
 
 def _min_chunk() -> int:
-    """Smallest worthwhile chunk extent (``REPRO_SHARD_MIN_CHUNK``)."""
+    """Smallest worthwhile chunk extent (``REPRO_SHARD_MIN_CHUNK``).
+
+    With the cost model in charge this knob is an *override*: when the env
+    var is set, chunk counts derive from it exactly as before the model
+    existed; when unset, ``_chunk_bounds`` derives the chunk size from the
+    estimated per-element cost of the shard point instead.
+    """
     return max(1, env_capacity("REPRO_SHARD_MIN_CHUNK", 1024))
+
+
+def _min_chunk_overridden() -> bool:
+    return "REPRO_SHARD_MIN_CHUNK" in os.environ
 
 
 def _max_tasks() -> int:
@@ -196,14 +211,19 @@ def _token_for(fun: Fun) -> str:
     return token
 
 
-def _split_for(fun: Fun) -> Optional[ShardSplit]:
-    """``shard_split(fun)``, memoised by identity."""
+def _split_for(fun: Fun) -> Tuple[Optional[ShardSplit], Optional[float]]:
+    """``(shard_split(fun), estimated per-element cost of the shard point)``,
+    memoised by identity.  The element cost drives ``_chunk_bounds``' derived
+    chunk sizing; it is computed once per function, not per call."""
     ent = _SPLITS.get(id(fun))
     if ent is not None and ent[0] is fun:
-        return ent[1]
+        return ent[1], ent[2]
     split = shard_split(fun)
-    _SPLITS.put(id(fun), (fun, split), _SPLITS_CAP)
-    return split
+    elem_cost = None
+    if split is not None:
+        elem_cost = soac_elem_cost(split.chunk_fun.body.stms[0].exp)
+    _SPLITS.put(id(fun), (fun, split, elem_cost), _SPLITS_CAP)
+    return split, elem_cost
 
 
 # ---------------------------------------------------------------------------
@@ -272,19 +292,45 @@ atexit.register(shutdown_shard_pool)
 
 
 def _edges(n: int, nchunks: int) -> List[Tuple[int, int]]:
-    """``nchunks`` near-even ``[lo, hi)`` bounds covering ``[0, n)``."""
+    """Near-even ``[lo, hi)`` bounds covering ``[0, n)`` — at most
+    ``nchunks`` of them, and never an empty chunk: a ``(k, k)`` chunk would
+    do no map work but *would* contribute a spurious neutral-element
+    partial to the reduce kind's fixed combine tree (``linspace`` emits
+    such duplicates whenever ``nchunks > n``)."""
+    nchunks = max(1, min(nchunks, n)) if n > 0 else 1
     edges = np.linspace(0, n, nchunks + 1).astype(np.int64)
-    return [(int(edges[i]), int(edges[i + 1])) for i in range(nchunks)]
+    return [
+        (int(edges[i]), int(edges[i + 1]))
+        for i in range(nchunks)
+        if edges[i + 1] > edges[i]
+    ] or [(0, n)]
 
 
-def _chunk_bounds(n: int) -> List[Tuple[int, int]]:
+def _chunk_bounds(n: int, elem_cost: Optional[float] = None) -> List[Tuple[int, int]]:
     """Chunk bounds for a shard extent of ``n``.
 
-    Depends only on ``n`` and the env knobs — never on the worker count —
-    which is what makes sharded results identical at 1 and N workers even
-    for the reduce kind (the partial-combine tree is fixed).
+    Depends only on ``n``, the estimated per-element cost of the shard
+    point, and the env knobs — never on the worker count — which is what
+    makes sharded results identical at 1 and N workers even for the reduce
+    kind (the partial-combine tree is fixed).
+
+    The chunk count is derived from the cost model: each chunk should carry
+    roughly ``REPRO_COST_TASK_GRAIN`` work+traffic units
+    (``ir.cost_model.task_grain``), so statement-heavy shard points split
+    into more, smaller chunks than trivial maps at the same extent.
+    Setting ``REPRO_SHARD_MIN_CHUNK`` overrides the derivation with the old
+    fixed-extent floor; ``REPRO_SHARD_MAX_TASKS`` caps the count either
+    way.  ``n == 0`` yields one empty chunk (run in-process by the
+    dispatcher); ``n > 0`` never yields an empty chunk.
     """
-    nchunks = min(_max_tasks(), n // _min_chunk())
+    if n <= 0:
+        return [(0, n)]
+    if elem_cost is not None and not _min_chunk_overridden():
+        per = max(1, int(math.ceil(task_grain() / max(elem_cost, 1.0))))
+        nchunks = n // per
+    else:
+        nchunks = n // _min_chunk()
+    nchunks = min(_max_tasks(), nchunks, n)
     if nchunks <= 1:
         return [(0, n)]
     return _edges(n, nchunks)
@@ -573,7 +619,7 @@ def run_fun_shard(fun: Fun, args: Sequence[object]) -> Tuple[object, ...]:
     as one in-process chunk, so the already-evaluated prefix is never
     thrown away and re-executed — and is counted as a fallback call.
     """
-    split = _split_for(fun)
+    split, elem_cost = _split_for(fun)
     if split is None:
         return _fallback(fun, args)
     pre = run_fun_plan(split.prefix_fun, args)
@@ -583,7 +629,7 @@ def run_fun_shard(fun: Fun, args: Sequence[object]) -> Tuple[object, ...]:
     n = shard_vals[0].shape[0]
     if any(v.ndim == 0 or v.shape[0] != n for v in shard_vals):
         return _fallback(fun, args)
-    bounds = _chunk_bounds(n)
+    bounds = _chunk_bounds(n, elem_cost)
     bcast = [pre[i] for i in split.chunk_broadcast]
     arg_lists = [[v[lo:hi] for v in shard_vals] + bcast for lo, hi in bounds]
     outs = _dispatch(split.chunk_fun, arg_lists)

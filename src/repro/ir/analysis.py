@@ -302,27 +302,33 @@ def _shard_candidate(stm: Stm):
     return None
 
 
-def shard_split(fun: Fun) -> Optional[ShardSplit]:
+def shard_split(fun: Fun, weigh=None) -> Optional[ShardSplit]:
     """Decompose ``fun`` for sharded execution, or None if not shardable.
 
     Scans the top-level statements for shardable SOACs (see
-    ``_shard_candidate``) and splits around the *heaviest* one (by recursive
-    statement count — the best static proxy for per-element work), so e.g.
-    GMM shards its big per-point redomap rather than the tiny wishart
-    reduce that happens to come later.  Programs with no top-level
-    parallel SOAC — scans, data-dependent loops, pure scalar code — return
-    None and run unsharded.
+    ``_shard_candidate``) and splits around the *heaviest* one — by default
+    weighed by the static cost model (``ir.cost_model.stm_work``: estimated
+    scalar work plus memory traffic, replacing the old recursive statement
+    count, which under-weighed statement-poor but traffic-heavy SOACs) —
+    so e.g. GMM shards its big per-point redomap rather than the tiny
+    wishart reduce that happens to come later.  ``weigh`` substitutes a
+    custom ``Stm -> float`` weigher.  Programs with no top-level parallel
+    SOAC — scans, data-dependent loops, pure scalar code — return None and
+    run unsharded.
     """
-    from .traversal import count_stms_exp, free_vars, free_vars_exp
+    from .traversal import free_vars, free_vars_exp
+
+    if weigh is None:
+        from .cost_model import stm_work as weigh  # late: cost_model imports us
 
     stms = fun.body.stms
     best = None
-    best_w = -1
+    best_w = -1.0
     for k, stm in enumerate(stms):
         cand = _shard_candidate(stm)
         if cand is None:
             continue
-        w = count_stms_exp(stm.exp)
+        w = float(weigh(stm))
         if w >= best_w:  # ties -> later statement
             best, best_w = (k, cand), w
     if best is None:

@@ -169,7 +169,12 @@ def optimize_fun(
     if not active:
         return fun
     names = tuple(p.name for p in active)
-    key = (id(fun), rounds, names)
+    # The fuse pass is additionally configured by REPRO_FUSE_COST (cost-gated
+    # vs monotone vs off); the mode must be part of the memo key or flipping
+    # the env var mid-session (the A8 ablation does) would serve stale plans.
+    from .fusion import fuse_cost_mode
+
+    key = (id(fun), rounds, names, fuse_cost_mode() if "fuse" in names else None)
     if cache:
         hit = _OPT_CACHE.get(key)
         if hit is not None and hit[0] is fun:
@@ -204,16 +209,20 @@ def optimize_fun(
         if converged and fun is not src:
             # The pipeline is deterministic, so a converged output maps to
             # itself — make re-optimising the result a cache hit too.
-            _cache_put((id(fun), rounds, names), fun, fun)
+            _cache_put((id(fun),) + key[1:], fun, fun)
     return fun
 
 
 def opt_stats() -> Dict[str, object]:
     """Per-pass fired/changed counters plus memo-cache counters."""
+    from .fusion import fuse_cost_mode, fusion_stats
+
     return {
         "passes": {n: dict(c) for n, c in _PASS_STATS.items()},
         "cache": {**_CACHE_STATS, "entries": len(_OPT_CACHE)},
         "enabled": tuple(p.name for p in resolve_passes()),
+        "fuse_cost_mode": fuse_cost_mode(),
+        "fusion": fusion_stats(),
     }
 
 

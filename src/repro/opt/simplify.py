@@ -37,7 +37,7 @@ from ..ir.ast import (
 )
 from ..ir.traversal import refresh_body, subst_exp
 from ..ir.types import BOOL, Scalar, np_dtype, rank_of
-from ..exec.prims import apply_binop, apply_unop
+from ..exec.prims import apply_binop, apply_unop, cast_to
 
 __all__ = ["simplify_fun", "simplify_body"]
 
@@ -77,9 +77,21 @@ class _Simplifier:
     def _fold_binop(self, e: BinOp) -> Optional[Exp]:
         x, y = e.x, e.y
         if isinstance(x, Const) and isinstance(y, Const):
+            # Fold under the exact conditions the executors evaluate under
+            # (``np.errstate(all="ignore")`` — see ``RefInterp.run`` and
+            # ``Plan.run``), so a fold can never diverge from runtime
+            # semantics: float div-by-zero folds to the same inf/nan the
+            # runtime produces, integer div-by-zero to the same value NumPy
+            # yields under an ignored error state.  Only *arithmetic*
+            # failures (including NumPy's refusal of negative integer
+            # powers, a ValueError) demote to "don't fold" — anything else
+            # (an unknown op, a bad type) is a real bug and must propagate.
             try:
-                v = apply_binop(e.op, np_dtype(x.type)(x.value), np_dtype(y.type)(y.value))
-            except Exception:
+                with np.errstate(all="ignore"):
+                    v = apply_binop(
+                        e.op, np_dtype(x.type)(x.value), np_dtype(y.type)(y.value)
+                    )
+            except (ArithmeticError, ValueError):
                 return None
             if e.op in ("lt", "le", "gt", "ge", "eq", "ne", "and", "or"):
                 return AtomExp(Const(bool(v), BOOL))
@@ -111,9 +123,12 @@ class _Simplifier:
 
     def _fold_unop(self, e: UnOp) -> Optional[Exp]:
         if isinstance(e.x, Const):
+            # Same errstate discipline as ``_fold_binop``: evaluate exactly
+            # as the executors would, demote only arithmetic failures.
             try:
-                v = apply_unop(e.op, np_dtype(e.x.type)(e.x.value))
-            except Exception:
+                with np.errstate(all="ignore"):
+                    v = apply_unop(e.op, np_dtype(e.x.type)(e.x.value))
+            except (ArithmeticError, ValueError):
                 return None
             if e.op == "not":
                 return AtomExp(Const(bool(v), BOOL))
@@ -133,7 +148,15 @@ class _Simplifier:
 
     def _fold_cast(self, e: Cast) -> Optional[Exp]:
         if isinstance(e.x, Const):
-            v = np_dtype(e.to)(np_dtype(e.x.type)(e.x.value))
+            # Via the executors' own ``cast_to`` (ndarray ``astype``), not a
+            # scalar-constructor call: ``np.int64(inf)`` raises where the
+            # runtime's astype quietly produces a platform value — the fold
+            # must compute exactly what execution would.
+            try:
+                with np.errstate(all="ignore"):
+                    v = cast_to(np_dtype(e.x.type)(e.x.value), np_dtype(e.to))[()]
+            except (ArithmeticError, ValueError):
+                return None
             return AtomExp(Const(v.item() if e.to is not BOOL else bool(v), e.to))
         if e.x.type == e.to:
             return AtomExp(e.x)

@@ -92,3 +92,30 @@ def test_opt_stats_shape_for_bench_ablations():
     fun = rp.trace_like(lambda xs: rp.sum(rp.map(lambda x: x * 2.0, xs)), (np.ones(3),))
     optimize_fun(fun, cache=False)
     assert opt_stats()["passes"]["fuse"]["fired"] > before
+
+
+def test_cost_model_shape_for_bench_ablation_a8():
+    """The A8 cost-model ablation keys off ``fusion_stats``, the
+    REPRO_FUSE_COST mode surfaced in ``opt_stats``, and the shard chunk
+    counters; make sure the wiring exists and moves."""
+    import numpy as np
+
+    import repro as rp
+    from repro.ir.cost_model import estimate_fun, soac_elem_cost, task_grain
+    from repro.opt.fusion import fuse_cost_mode, fusion_stats, reset_fusion_stats
+    from repro.opt.pipeline import opt_stats, optimize_fun
+
+    assert fuse_cost_mode() in ("on", "off", "always")
+    st = opt_stats()
+    assert {"fuse_cost_mode", "fusion"} <= set(st)
+    assert {"vertical", "horizontal", "cost_rejected"} <= set(st["fusion"])
+
+    reset_fusion_stats()
+    fun = rp.trace_like(lambda xs: rp.sum(rp.map(lambda x: x * 2.0, xs)), (np.ones(3),))
+    optimize_fun(fun, cache=False)
+    assert fusion_stats()["vertical"] >= 1
+
+    fe = estimate_fun(fun, [(3,)])
+    assert fe.total.work > 0 and fe.soacs
+    assert task_grain() >= 1
+    assert soac_elem_cost(fun.body.stms[0].exp) is not None
