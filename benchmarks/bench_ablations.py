@@ -1,4 +1,4 @@
-"""Ablations A1–A8 (per DESIGN.md):
+"""Ablations A1–A9 (per DESIGN.md):
 
 A1  §6.1 accumulator→reduce on the matmul adjoint (the GMM/LSTM lever);
 A2  §4.3 strip-mining time–space trade-off (checkpoint memory vs re-exec);
@@ -14,7 +14,12 @@ A8  static cost model on/off: cost-guided fusion (REPRO_FUSE_COST=on) vs
     monotone fusion (=always) on the Table 5 GMM gradient and Table 3
     kmeans gradient, and cost-derived shard chunk sizing vs the static
     REPRO_SHARD_MIN_CHUNK/REPRO_SHARD_MAX_TASKS knobs on a map-kind shard
-    program — guided must be parity-safe (bitwise) and no slower.
+    program — guided must be parity-safe (bitwise) and no slower;
+A9  source codegen vs the closure interpreter: the same plan IR rendered
+    to one compiled Python function (backend=codegen) vs per-instruction
+    closure dispatch (backend=plan) on the A8 GMM gradient and two
+    dispatch-bound scalar loops — bitwise parity asserted, codegen must
+    win outright where dispatch dominates and be no slower elsewhere.
 """
 import os
 
@@ -524,3 +529,99 @@ def test_ablation_a8_cost_model(benchmark, monkeypatch):
     assert t_on <= t_mono * 1.15, (t_on, t_mono)
     assert t_guided <= t_static * 1.25, (t_guided, t_static)
     assert s_on == s_mono  # the gate accepted every profitable fusion
+
+
+# --- A9: source codegen vs the closure interpreter -----------------------------------
+
+#: Two regimes.  The GMM gradient (A8 scale) is array-bound: NumPy kernels
+#: dominate and codegen only trims the residual per-instruction dispatch.
+#: The scalar loops are dispatch-bound: almost every "instruction" is a
+#: handful of FLOPs, so the closure interpreter's per-op indirection *is*
+#: the cost, and rendering the plan IR to one Python function removes it.
+GMM_A9 = GMM_A8
+A9_FORI_ITERS = 512
+A9_WHILE_LIMIT = 1000.0
+
+
+def test_ablation_a9_codegen(benchmark):
+    from repro.exec.plan import clear_plan_cache, plan_cache_stats
+
+    n, d, K = GMM_A9
+    gmm_args = datagen.gmm_instance(n, d, K, 0)[:4] + (1.0,)
+    g_gmm = vjp(rp.compile(gmm.build_ir(n, d, K)), wrt=[0, 1, 2])
+
+    def scalar_fori(x, v):
+        def body(i, a):
+            s = rp.sin(a) * 0.5 + rp.cos(a * a) * 0.25
+            return a + s * rp.sum(v) * 1e-3
+        return rp.fori_loop(A9_FORI_ITERS, body, x)
+
+    def scalar_while(x):
+        return rp.while_loop(
+            lambda a: a < A9_WHILE_LIMIT, lambda a: a + rp.sin(a) * 0.1 + 1.0, x
+        )
+
+    fori_args = (0.1, rng.standard_normal(4))
+    fc_fori = rp.compile(rp.trace_like(scalar_fori, fori_args))
+    while_args = (0.0,)
+    fc_while = rp.compile(rp.trace_like(scalar_while, while_args))
+
+    workloads = [
+        ("gmm_grad", lambda be: g_gmm(*gmm_args, backend=be), 3),
+        ("scalar_fori", lambda be: fc_fori(*fori_args, backend=be), 7),
+        ("scalar_while", lambda be: fc_while(*while_args, backend=be), 7),
+    ]
+
+    clear_plan_cache()
+    times = {}
+    for name, run, reps in workloads:
+        res_plan = run("plan")
+        res_cg = run("codegen")
+        rp_ = res_plan if isinstance(res_plan, tuple) else (res_plan,)
+        rc = res_cg if isinstance(res_cg, tuple) else (res_cg,)
+        for a, b in zip(rp_, rc):
+            # same lowering, same NumPy call sequence: bitwise, not approximate
+            np.testing.assert_array_equal(np.asarray(a), np.asarray(b))
+        times[name] = (
+            timeit(lambda: run("plan"), repeats=reps),
+            timeit(lambda: run("codegen"), repeats=reps),
+        )
+
+    em = plan_cache_stats()["emitters"]["codegen"]
+    benchmark(lambda: fc_fori(*fori_args, backend="codegen"))
+
+    lines = [
+        "A9: source codegen (plan IR -> one compiled Python function) vs the",
+        "closure interpreter (per-instruction dispatch); identical lowering,",
+        "bitwise-equal results asserted on every workload.",
+    ]
+    rows = []
+    for name, (tp, tc) in times.items():
+        lines.append(
+            f"{name:12s} plan {tp*1000:8.2f} ms, codegen {tc*1000:8.2f} ms "
+            f"({tp/tc:.2f}x)"
+        )
+        rows.append(bench_row(f"{name}/plan", seconds=tp, backend="plan"))
+        rows.append(bench_row(f"{name}/codegen", seconds=tc, backend="codegen"))
+    lines.append(
+        f"codegen cache: {em['code_objects']} code objects, "
+        f"{em['source_bytes']} source bytes, compile {em['compile_s']*1000:.1f} ms"
+    )
+    lines.append(
+        "dispatch-bound scalar loops must win outright; the array-bound GMM"
+    )
+    lines.append(
+        "gradient must be no slower than the interpreter (NumPy-bound)."
+    )
+    rows.append(bench_row("codegen_cache", backend="codegen",
+                          code_objects=em["code_objects"],
+                          source_bytes=em["source_bytes"],
+                          compile_s=em["compile_s"]))
+    write_table("ablation_a9_codegen", lines, rows=rows)
+
+    # dispatch-bound: codegen must be >= 1.0x the interpreter, outright
+    assert times["scalar_fori"][1] <= times["scalar_fori"][0], times["scalar_fori"]
+    assert times["scalar_while"][1] <= times["scalar_while"][0], times["scalar_while"]
+    # array-bound: no slower, with headroom for timing noise
+    tp, tc = times["gmm_grad"]
+    assert tc <= tp * 1.15, (tc, tp)

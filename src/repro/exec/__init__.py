@@ -1,8 +1,16 @@
-"""Executors: reference interpreter, vectorised SIMT simulator, plan
-compiler (closure-compiled, cached), the sharded parallel executor, and the
+"""Executors: reference interpreter, vectorised SIMT simulator, the plan
+family (shared lowering in ``lower``, closure emitter in ``plan``, source
+codegen emitter in ``codegen``), the sharded parallel executor, and the
 cost model — all resolvable by name through the backend registry."""
+from .codegen import (  # noqa: F401
+    CodegenPlan,
+    compile_codegen,
+    run_fun_codegen,
+    run_fun_codegen_batched,
+)
 from .cost import Cost, CostRecorder  # noqa: F401
 from .interp import RefInterp, run_fun  # noqa: F401
+from .lower import PlanIR, lower_fun, lower_specialized  # noqa: F401
 from .plan import (  # noqa: F401
     Plan,
     clear_plan_cache,

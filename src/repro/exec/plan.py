@@ -1,4 +1,4 @@
-"""Plan compiler — closure-compiled bulk-parallel execution.
+"""Plan backend — closure emission + runtime over the shared plan IR.
 
 The vectorised interpreter (``exec/vector.py``) already executes SOACs as
 bulk NumPy ops, but it re-walks the IR on *every* call: each statement costs
@@ -7,67 +7,64 @@ re-resolution.  For the paper's workloads — where a differentiated program is
 evaluated thousands of times on same-shaped inputs — that per-call AST
 interpretation is pure overhead.
 
-This module lowers an optimised ``Fun`` *once* into a **plan**: a flat
-sequence of Python closures, one per statement, operating on a slot-indexed
-register file.  All compile-time-decidable work happens at lowering time:
+Since PR 6 the plan family is layered:
 
-* atoms resolve to register slots (variables) or prebuilt batched constants;
-* operator tables (``apply_unop``/``apply_binop``), cast dtypes, and the
-  specialisable reduce/scan/histogram operators (``recognize_binop_lambda``,
-  plus the fusion engine's redomap shapes via
-  ``recognize_redomap_lambda`` — fused reductions bulk-map their element
-  function and finish with the same ufunc fast path) are resolved
-  statically;
-* lambda bodies of SOACs and control flow are recursively compiled, so
-  nested scopes execute with zero dispatch as well;
-* runs of ≥2 adjacent scalar statements collapse into one fused closure
-  whose intermediates stay in closure-local storage — one dispatch and no
-  register-file round-trips per run interior (counted in
-  ``plan_cache_stats()["fused_stms"]``).
+* ``exec/lower.py`` turns an optimised ``Fun`` (plus optional static shape
+  facts) into an explicit linear **plan IR** — slot allocation, fused scalar
+  runs, SOAC fast-path selection, and specialisation folds all decided there,
+  once, for every emitter;
+* this module **emits** that IR as a flat sequence of Python closures, one
+  per instruction, over a slot-indexed register file (the interpreter
+  emitter), and hosts the runtime (``_Engine``) plus the two-tier plan
+  cache shared by all plan-family emitters;
+* ``exec/codegen.py`` emits the same IR as the source of a single Python
+  function (``backend="codegen"``) — no per-instruction dispatch at all.
 
 Runtime semantics are *identical* to the vectorised interpreter — plans reuse
 its ``BV`` batched-value representation, masking discipline, and helper
 machinery — so SIMT-style divergence, accumulators, and lane-varying loops
-all behave the same (the test suite runs every program on ``ref``, ``vec``
-and ``plan`` and asserts agreement).
+all behave the same (the test suite runs every program on ``ref``, ``vec``,
+``plan`` and ``codegen`` and asserts agreement).
 
 Caching — two tiers
 -------------------
 
-``plan_for(fun, args, batched=..., backend=...)`` memoises plans in a
-module-level, lock-guarded cache with two tiers:
+``plan_for(fun, args, batched=..., backend=..., emitter=...)`` memoises
+plans in a module-level, lock-guarded cache with two tiers:
 
-* **tier 1 (generic)** — keyed by ``(id(fun), backend, rank/dtype
-  signature, batched flags)``.  Concrete extents are dropped from the key:
-  plans are shape-generic, so one lowering serves a whole problem-size
-  sweep (GMM D0→D6, BA camera counts, shard chunk extents) instead of
-  re-lowering per shape and churning the LRU.  The backend dimension
-  separates entries lowered for the plan backend proper from those the
-  shard executor lowers for its chunk functions.
+* **tier 1 (generic)** — keyed by ``(ir_hash(fun), backend, emitter,
+  rank/dtype signature, batched flags)``.  The key leads with the
+  alpha-invariant content hash (``ir.analysis.ir_hash``), so
+  alpha-equivalent ``Fun`` bodies — retraced derivatives, per-worker
+  re-optimised copies — share one lowering instead of one per object
+  identity.  Concrete extents are dropped from the key: plans are
+  shape-generic, so one lowering serves a whole problem-size sweep (GMM
+  D0→D6, BA camera counts, shard chunk extents) instead of re-lowering per
+  shape and churning the LRU.  The backend/emitter dimensions separate
+  entries lowered for the plan backend proper from shard chunk plans and
+  codegen code objects.
 * **tier 2 (specialised, ``REPRO_PLAN_SPECIALIZE``, default on)** — after a
   concrete ``(shape, dtype)`` signature scores enough tier-1 hits that the
   predicted specialisation savings amortise the estimated re-lowering cost
   (``ir.cost_model.promotion_threshold``; signatures admitting no folds are
   never promoted; ``REPRO_PLAN_SPECIALIZE_AFTER`` overrides with a bare
-  hit-count threshold), the plan is
-  re-lowered with the signature's static facts folded in
-  (``ir.analysis.infer_static_shapes``): ``Size`` expressions become
-  prebuilt constants, iota/replicate/histogram extents become compile-time
-  ints (small iotas prebuilt outright), and reduce/scan lowering picks its
-  strategy by the known extent.  Specialised and generic plans agree
-  bitwise — promotion is purely a perf move.
+  hit-count threshold), the plan is re-lowered with the signature's static
+  facts folded in (``ir.analysis.infer_static_shapes``): ``Size``
+  expressions become prebuilt constants, iota/replicate/histogram extents
+  become compile-time ints (small iotas prebuilt outright), and reduce/scan
+  lowering picks its strategy by the known extent.  Specialised and generic
+  plans agree bitwise — promotion is purely a perf move.
 
-Keying by object identity is sound because the cache holds a strong
-reference to each keyed ``Fun`` (entries are immutable; ids cannot be
-recycled while their entries live).  Repeat calls on same-shaped arguments
-skip tracing, optimisation, and lowering entirely; ``PLAN_STATS`` counts
-hits/misses/specialized-hits/promotions/evictions and fused-statement/fold
-totals so callers can assert cache behaviour.  Each tier is an LRU bounded
-by ``REPRO_PLAN_CACHE_SIZE`` entries (default 512, ``0`` unbounded);
-``clear_plan_cache`` drops everything eagerly (plans are derived purely
-from immutable ``Fun`` values, so entries never go stale).  All cache and
-counter state is mutated under one re-entrant lock — shard thread mode
-resolves plans from pool workers concurrently.
+Repeat calls on same-shaped arguments skip tracing, optimisation, and
+lowering entirely; ``PLAN_STATS`` counts hits/misses/specialized-hits/
+promotions/evictions and fused-statement/fold totals, and ``EMITTER_STATS``
+breaks plan construction down per emitter, so callers can assert cache
+behaviour.  Each tier is an LRU bounded by ``REPRO_PLAN_CACHE_SIZE`` entries
+(default 512, ``0`` unbounded); ``clear_plan_cache`` drops everything
+eagerly (plans are derived purely from immutable ``Fun`` values, so entries
+never go stale).  All cache and counter state is mutated under one
+re-entrant lock — shard thread mode resolves plans from pool workers
+concurrently.
 
 Batched seeds
 -------------
@@ -81,53 +78,24 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..ir.analysis import (
-    StaticInfo,
-    infer_static_shapes,
-    recognize_binop_lambda,
-    recognize_redomap_lambda,
-)
-from ..ir.ast import (
-    AtomExp,
-    Atom,
-    BinOp,
-    Body,
-    Cast,
-    Concat,
-    Const,
-    Exp,
-    Fun,
-    If,
-    Index,
-    Iota,
-    Loop,
-    Map,
-    Reduce,
-    ReduceByIndex,
-    Replicate,
-    Reverse,
-    Scan,
-    Scatter,
-    ScratchLike,
-    Select,
-    Size,
-    Stm,
-    UnOp,
-    UpdAcc,
-    Update,
-    Var,
-    WhileLoop,
-    WithAcc,
-    ZerosLike,
-)
-from ..ir.traversal import free_vars_exp
+from ..ir.analysis import StaticInfo, infer_static_shapes, ir_hash
+from ..ir.ast import Fun
 from ..ir.types import np_dtype
 from ..util import BoundedLRU, ExecError, env_capacity
 from . import values as _values
+from .lower import (
+    IntRef,
+    PlanIR,
+    Ref,
+    check_spec_sig,
+    lower_fun,
+    spec_signature,
+)
 from .prims import apply_binop, apply_unop, cast_to
 from .values import coerce_arg
 from .vector import (
@@ -142,7 +110,6 @@ from .vector import (
     _gather,
     _grids,
     _mask_where,
-    _ne_is_identity,
     _neutral_of,
     _uniform_int,
     _where,
@@ -154,9 +121,11 @@ __all__ = [
     "plan_for",
     "specialized_plan",
     "specialize_enabled",
+    "register_emitter",
     "run_fun_plan",
     "run_fun_plan_batched",
     "PLAN_STATS",
+    "EMITTER_STATS",
     "plan_cache_stats",
     "clear_plan_cache",
 ]
@@ -188,7 +157,7 @@ def _run_body(eng: _Engine, code) -> Tuple[object, ...]:
 
 # The masking/elementwise/gather/SOAC-entry primitives (_combine_mask,
 # _mask_where, _elem, _where, _gather, _uniform_int, _batch_args) are imported
-# from exec/vector.py — one shared copy is what guarantees the two backends
+# from exec/vector.py — one shared copy is what guarantees the backends
 # cannot drift semantically.
 
 
@@ -198,257 +167,152 @@ def _map_args_rt(eng: _Engine, readers) -> Tuple[List[BV], int]:
 
 
 # ---------------------------------------------------------------------------
-# Compiler
+# Closure emission over the plan IR
 # ---------------------------------------------------------------------------
 
 
-#: Statement expressions eligible for scalar-run fusion: pure, single-result,
-#: independent of the engine's mask/batch state (they only read operands).
-_RUN_FUSIBLE = (AtomExp, UnOp, BinOp, Select, Cast, Index, ZerosLike)
+def _reader(ref: Ref) -> Callable:
+    """A ``regs -> BV`` accessor for a lowered atom."""
+    if ref.slot is not None:
+        i, name = ref.slot, ref.name
 
-#: Largest statically known iota a specialised plan prebuilds at lowering
-#: time (beyond it, holding the constant array per cached plan costs more
-#: memory than the per-call ``np.arange`` costs time).
-_IOTA_PREBUILD_MAX = 1 << 16
+        def rd(regs, _i=i, _n=name):
+            v = regs[_i]
+            if v is None:
+                raise ExecError(f"unbound variable {_n}")
+            return v
+
+        return rd
+    bv = ref.bv
+    return lambda regs, _bv=bv: _bv
 
 
-class _PlanCompiler:
-    """One-shot lowering of a ``Fun`` body to instruction closures.
+def _int_reader(iref: IntRef) -> Callable:
+    """Accessor for a lane-uniform integer (iota/replicate/hist extents).
 
-    All SSA names in a program are globally unique, so a single flat slot
-    space serves every scope (exactly the flat-environment invariant the
-    interpreters rely on).
+    Lowering already folded compile-time constants into ``IntRef.const``;
+    everything else reads the register file and validates lane-uniformity
+    per call."""
+    if iref.const is not None:
+        n = iref.const
+        return lambda eng, _n=n: _n
+    rd = _reader(iref.ref)
+    return lambda eng, _rd=rd, _w=iref.what: _uniform_int(_rd(eng.regs), _w)
 
-    Runs of ≥2 adjacent scalar statements (``_RUN_FUSIBLE``) collapse into
-    one fused closure: intra-run temporaries live in a closure-local list
-    and only values consumed outside the run are written back to the
-    register file — fewer instruction dispatches and register round-trips
-    on the scalar-heavy bodies AD emits.  ``self.fused`` counts statements
-    so collapsed (surfaced via ``plan_cache_stats``).
 
-    ``static`` (tier-2 specialisation) carries facts inferred from one
-    concrete argument signature (``ir.analysis.infer_static_shapes``): when
-    present, ``Size`` expressions fold to prebuilt constants, iota /
-    replicate / histogram extents become compile-time ints (small iotas are
-    prebuilt outright), and the reduce fast path is picked by the statically
-    known extent.  ``self.folds`` counts the folds performed (surfaced as
-    ``plan_cache_stats()["spec_folds"]``).  A plan lowered with
-    ``static=None`` is fully shape-generic — bitwise-identical results are
-    the invariant between the two, asserted by the cache test suite.
-    """
+def _run_operand(x) -> Callable:
+    """A ``(regs, loc) -> BV`` accessor: run-local values (``int`` indices)
+    read from the closure-local list, everything else from the register
+    file."""
+    if isinstance(x, int):
+        return lambda regs, loc, _i=x: loc[_i]
+    base = _reader(x)
+    return lambda regs, loc, _b=base: _b(regs)
 
-    def __init__(self, static: Optional[StaticInfo] = None) -> None:
-        self.slots: Dict[str, int] = {}
-        self.fused = 0
-        self.static = static
-        self.folds = 0
 
-    def static_int(self, a: Atom) -> Optional[int]:
-        """The compile-time value of a lane-uniform integer atom, if known."""
-        if isinstance(a, Const):
-            return int(a.value)
-        if self.static is not None:
-            v = self.static.int_of(a.name)
-            if v is not None:
-                self.folds += 1
-                return int(v)
-        return None
+def _emit_run_op(o) -> Callable:
+    kind = o.kind
+    if kind == "atom":
+        return _run_operand(o.xs[0])
+    if kind == "unop":
+        rx = _run_operand(o.xs[0])
+        op = o.op
+        return lambda regs, loc, _rx=rx, _op=op: _elem(
+            lambda d: apply_unop(_op, d), _rx(regs, loc)
+        )
+    if kind == "binop":
+        rx, ry = _run_operand(o.xs[0]), _run_operand(o.xs[1])
+        op = o.op
+        return lambda regs, loc, _rx=rx, _ry=ry, _op=op: _elem(
+            lambda a, b: apply_binop(_op, a, b), _rx(regs, loc), _ry(regs, loc)
+        )
+    if kind == "select":
+        rc, rt, rf = (_run_operand(x) for x in o.xs)
+        return lambda regs, loc, _rc=rc, _rt=rt, _rf=rf: _where(
+            _rc(regs, loc), _rt(regs, loc), _rf(regs, loc)
+        )
+    if kind == "cast":
+        rx = _run_operand(o.xs[0])
+        dt = o.dtype
 
-    def static_extent(self, arrs) -> Optional[int]:
-        """The statically known leading extent of a SOAC's input arrays."""
-        if self.static is None or not arrs:
-            return None
-        s = self.static.shape(arrs[0].name)
-        if s is not None and len(s) >= 1:
-            self.folds += 1
-            return int(s[0])
-        return None
+        def cast_fn(regs, loc, _rx=rx, _dt=dt):
+            v = _rx(regs, loc)
+            return BV(cast_to(v.data, _dt), v.bdims)
 
-    def slot(self, name: str) -> int:
-        s = self.slots.get(name)
-        if s is None:
-            s = len(self.slots)
-            self.slots[name] = s
-        return s
+        return cast_fn
+    if kind == "index":
+        ra = _run_operand(o.xs[0])
+        ris = tuple(_run_operand(x) for x in o.xs[1:])
+        return lambda regs, loc, _ra=ra, _ris=ris: _gather(
+            _ra(regs, loc), [r(regs, loc) for r in _ris]
+        )
+    if kind == "zeroslike":
+        rx = _run_operand(o.xs[0])
 
-    def reader(self, a: Atom) -> Callable:
-        """A ``regs -> BV`` accessor, resolved at compile time."""
-        if isinstance(a, Var):
-            i = self.slot(a.name)
-            name = a.name
+        def zl_fn(regs, loc, _rx=rx):
+            v = _rx(regs, loc)
+            return BV(np.zeros_like(np.asarray(v.data)), v.bdims)
 
-            def rd(regs, _i=i, _n=name):
-                v = regs[_i]
-                if v is None:
-                    raise ExecError(f"unbound variable {_n}")
-                return v
+        return zl_fn
+    raise ExecError(f"plan emit: unexpected run op {kind!r}")
 
-            return rd
-        bv = BV(np.asarray(np_dtype(a.type)(a.value)), 0)
-        return lambda regs, _bv=bv: _bv
 
-    def int_reader(self, a: Atom, what: str) -> Callable:
-        """Accessor for a lane-uniform integer (iota/replicate/hist extents).
+def _assign_single(fn: Callable, out) -> Callable:
+    s0 = out[0]
 
-        Constants — literal or statically inferred from the specialisation
-        signature — resolve at compile time; everything else reads the
-        register file and validates lane-uniformity per call.
-        """
-        n = self.static_int(a)
-        if n is not None:
-            return lambda eng, _n=n: _n
-        rd = self.reader(a)
-        return lambda eng, _rd=rd, _w=what: _uniform_int(_rd(eng.regs), _w)
+    def ins(eng, _fn=fn, _s=s0):
+        eng.regs[_s] = _fn(eng)
+
+    return ins
+
+
+def _assign_multi(fn: Callable, outs) -> Callable:
+    slots = tuple(s for s, _ in outs)
+
+    def ins(eng, _fn=fn, _slots=slots):
+        vals = _fn(eng)
+        regs = eng.regs
+        for s, v in zip(_slots, vals):
+            regs[s] = v
+
+    return ins
+
+
+class _ClosureEmitter:
+    """The interpreter emitter: one Python closure per plan-IR instruction.
+
+    Every compile-time decision already lives in the IR — this class only
+    binds readers/writers and transliterates each instruction into the
+    closure that executes it (the NumPy call sequences are shared verbatim
+    with the codegen emitter, which is what keeps the two bitwise equal)."""
 
     # -- bodies ---------------------------------------------------------------
 
-    def compile_body(self, body: Body):
-        stms = body.stms
-        n = len(stms)
-        # Find the fusible runs first, then compute each run's live-after
-        # set with ONE backward free-vars sweep over the body (walking the
-        # whole tail per run would make lowering quadratic in body size).
-        spans = []
-        i = 0
-        while i < n:
-            if isinstance(stms[i].exp, _RUN_FUSIBLE) and len(stms[i].pat) == 1:
-                j = i
-                while (
-                    j < n
-                    and isinstance(stms[j].exp, _RUN_FUSIBLE)
-                    and len(stms[j].pat) == 1
-                ):
-                    j += 1
-                if j - i >= 2:
-                    spans.append((i, j))
-                    i = j
-                    continue
-            i += 1
-        used_after_at = {}
-        if spans:
-            ends = {j for _, j in spans}
-            live = {a.name for a in body.result if isinstance(a, Var)}
-            if n in ends:
-                used_after_at[n] = frozenset(live)
-            for k in range(n - 1, -1, -1):
-                live.update(free_vars_exp(stms[k].exp))
-                if k in ends:
-                    used_after_at[k] = frozenset(live)
-        instrs = []
-        span_at = {i: j for i, j in spans}
-        i = 0
-        while i < n:
-            j = span_at.get(i)
-            if j is not None:
-                instrs.append(self._compile_run(stms[i:j], used_after_at[j]))
-                self.fused += j - i
-                i = j
-                continue
-            instrs.append(self._compile_stm(stms[i]))
-            i += 1
-        res = tuple(self.reader(r) for r in body.result)
-        return tuple(instrs), res
+    def emit_body(self, pbody) -> tuple:
+        instrs = tuple(self._emit_ins(i) for i in pbody.instrs)
+        res = tuple(_reader(r) for r in pbody.result)
+        return instrs, res
 
-    def _compile_stm(self, stm: Stm):
-        fn, multi = self.compile_exp(stm.exp)
-        if multi:
-            slots = tuple(self.slot(v.name) for v in stm.pat)
-
-            def ins(eng, _fn=fn, _slots=slots):
-                vals = _fn(eng)
-                if len(vals) != len(_slots):
-                    raise ExecError(
-                        f"statement binds {len(_slots)} vars, got {len(vals)}"
-                    )
-                regs = eng.regs
-                for s, v in zip(_slots, vals):
-                    regs[s] = v
-
-        else:
-            if len(stm.pat) != 1:
-                raise ExecError("statement binds multiple vars, got 1 value")
-            s0 = self.slot(stm.pat[0].name)
-
-            def ins(eng, _fn=fn, _s=s0):
-                eng.regs[_s] = _fn(eng)
-
-        return ins
+    def _emit_ins(self, ins) -> Callable:
+        return getattr(self, "_emit_" + ins.kind)(ins)
 
     # -- fused scalar runs ----------------------------------------------------
 
-    def _run_reader(self, a: Atom, local_of: Dict[str, int]) -> Callable:
-        """A ``(regs, loc) -> BV`` accessor: run-local values read from the
-        closure-local list, everything else from the register file."""
-        if isinstance(a, Var) and a.name in local_of:
-            idx = local_of[a.name]
-            return lambda regs, loc, _i=idx: loc[_i]
-        base = self.reader(a)
-        return lambda regs, loc, _b=base: _b(regs)
+    def _emit_run(self, ins) -> Callable:
+        ops = tuple(_emit_run_op(o) for o in ins.ops)
+        if len(ops) == 1:
+            # A standalone scalar statement: one export, no locals.
+            (_, s0, _n) = ins.exports[0]
+            op = ops[0]
 
-    def _compile_run_exp(self, e: Exp, local_of: Dict[str, int]) -> Callable:
-        rd = lambda a: self._run_reader(a, local_of)  # noqa: E731
-        if isinstance(e, AtomExp):
-            return rd(e.x)
-        if isinstance(e, UnOp):
-            rx = rd(e.x)
-            op = e.op
-            return lambda regs, loc, _rx=rx, _op=op: _elem(
-                lambda d: apply_unop(_op, d), _rx(regs, loc)
-            )
-        if isinstance(e, BinOp):
-            rx, ry = rd(e.x), rd(e.y)
-            op = e.op
-            return lambda regs, loc, _rx=rx, _ry=ry, _op=op: _elem(
-                lambda a, b: apply_binop(_op, a, b), _rx(regs, loc), _ry(regs, loc)
-            )
-        if isinstance(e, Select):
-            rc, rt, rf = rd(e.c), rd(e.t), rd(e.f)
-            return lambda regs, loc, _rc=rc, _rt=rt, _rf=rf: _where(
-                _rc(regs, loc), _rt(regs, loc), _rf(regs, loc)
-            )
-        if isinstance(e, Cast):
-            rx = rd(e.x)
-            dt = np_dtype(e.to)
+            def one(eng, _op=op, _s=s0):
+                eng.regs[_s] = _op(eng.regs, ())
 
-            def cast_fn(regs, loc, _rx=rx, _dt=dt):
-                v = _rx(regs, loc)
-                return BV(cast_to(v.data, _dt), v.bdims)
+            return one
+        exports = tuple((li, s) for li, s, _n in ins.exports)
+        k = len(ops)
 
-            return cast_fn
-        if isinstance(e, Index):
-            ra = rd(e.arr)
-            ris = tuple(rd(i) for i in e.idx)
-            return lambda regs, loc, _ra=ra, _ris=ris: _gather(
-                _ra(regs, loc), [r(regs, loc) for r in _ris]
-            )
-        if isinstance(e, ZerosLike):
-            rx = rd(e.x)
-
-            def zl_fn(regs, loc, _rx=rx):
-                v = _rx(regs, loc)
-                return BV(np.zeros_like(np.asarray(v.data)), v.bdims)
-
-            return zl_fn
-        raise ExecError(f"plan run compile: unexpected {type(e).__name__}")
-
-    def _compile_run(self, run, used_after):
-        """One fused closure for a run of adjacent scalar statements.
-
-        ``used_after`` is the set of names live after the run (computed by
-        ``compile_body``'s backward sweep); only those escape to the
-        register file, everything else stays in run-local temporaries."""
-        local_of: Dict[str, int] = {}
-        ops = []
-        exports = []
-        for idx, s in enumerate(run):
-            ops.append(self._compile_run_exp(s.exp, local_of))
-            name = s.pat[0].name
-            local_of[name] = idx
-            if name in used_after:
-                exports.append((idx, self.slot(name)))
-        k = len(run)
-
-        def ins(eng, _ops=tuple(ops), _exports=tuple(exports), _k=k):
+        def run(eng, _ops=ops, _exports=exports, _k=k):
             regs = eng.regs
             loc = [None] * _k
             for x, op in enumerate(_ops):
@@ -456,142 +320,14 @@ class _PlanCompiler:
             for li, s in _exports:
                 regs[s] = loc[li]
 
-        return ins
+        return run
 
-    # -- expressions ----------------------------------------------------------
+    # -- simple expressions ---------------------------------------------------
 
-    def compile_exp(self, e: Exp):
-        """Lower one expression; returns ``(closure, is_multi_result)``."""
-        if isinstance(e, _RUN_FUSIBLE):
-            # One shared set of scalar handlers: a standalone scalar
-            # statement is a fused run of length 1 with no locals.
-            op = self._compile_run_exp(e, {})
-            return (lambda eng, _op=op: _op(eng.regs, ())), False
-
-        if isinstance(e, Update):
-            return self._compile_update(e), False
-
-        if isinstance(e, Iota):
-            dt = np_dtype(e.elem)
-            if self.static is not None:
-                n = self.static_int(e.n)
-                if n is not None and 0 <= n <= _IOTA_PREBUILD_MAX:
-                    # Specialised lowering: the array is a compile-time
-                    # constant.  Hand out a fresh copy per call (memcpy, no
-                    # extent resolution or arange fill) — unlike the shared
-                    # scalar Const BVs, an array could escape as a function
-                    # result, and a caller mutating it must not corrupt the
-                    # cached plan.
-                    arr = np.arange(n, dtype=dt)
-                    return (lambda eng, _a=arr: BV(_a.copy(), 0)), False
-            rn = self.int_reader(e.n, "iota length")
-
-            def fn(eng, _rn=rn, _dt=dt):
-                return BV(np.arange(_rn(eng), dtype=_dt), 0)
-
-            return fn, False
-
-        if isinstance(e, Replicate):
-            rn = self.int_reader(e.n, "replicate count")
-            rv = self.reader(e.v)
-
-            def fn(eng, _rn=rn, _rv=rv):
-                n = _rn(eng)
-                v = _rv(eng.regs)
-                d = np.asarray(v.data)
-                d2 = np.expand_dims(d, axis=v.bdims)
-                shape = d.shape[: v.bdims] + (n,) + d.shape[v.bdims:]
-                return BV(np.broadcast_to(d2, shape).copy(), v.bdims)
-
-            return fn, False
-
-        if isinstance(e, ScratchLike):
-            rn = self.reader(e.n)
-            rx = self.reader(e.x)
-
-            def fn(eng, _rn=rn, _rx=rx):
-                nd = np.asarray(_rn(eng.regs).data)
-                n = 0 if nd.size == 0 else int(nd.max())
-                v = _rx(eng.regs)
-                bshape = tuple(eng.bstack)
-                dt = np.asarray(v.data).dtype
-                return BV(np.zeros(bshape + (n,) + v.pshape(), dtype=dt), len(bshape))
-
-            return fn, False
-
-        if isinstance(e, Size):
-            if self.static is not None:
-                s = self.static.shape(e.arr.name)
-                if s is not None and -len(s) <= e.dim < len(s):
-                    # Specialised lowering: the extent is determined by the
-                    # signature — no register read, no pshape() walk.
-                    self.folds += 1
-                    bv = BV(np.asarray(np.int64(s[e.dim])), 0)
-                    return (lambda eng, _bv=bv: _bv), False
-            rd = self.reader(e.arr)
-            dim = e.dim
-
-            def fn(eng, _rd=rd, _dim=dim):
-                v = _rd(eng.regs)
-                if isinstance(v, AccBV):
-                    shape = v.data.shape[v.bdims:]
-                    return BV(np.asarray(np.int64(shape[_dim])), 0)
-                return BV(np.asarray(np.int64(v.pshape()[_dim])), 0)
-
-            return fn, False
-
-        if isinstance(e, Reverse):
-            rd = self.reader(e.x)
-
-            def fn(eng, _rd=rd):
-                v = _rd(eng.regs)
-                return BV(np.flip(np.asarray(v.data), axis=v.bdims).copy(), v.bdims)
-
-            return fn, False
-
-        if isinstance(e, Concat):
-            rx = self.reader(e.x)
-            ry = self.reader(e.y)
-
-            def fn(eng, _rx=rx, _ry=ry):
-                regs = eng.regs
-                (dx, dy), k, _ = _align([_rx(regs), _ry(regs)])
-                bx = np.broadcast_shapes(dx.shape[:k], dy.shape[:k])
-                dx = np.broadcast_to(dx, bx + dx.shape[k:])
-                dy = np.broadcast_to(dy, bx + dy.shape[k:])
-                return BV(np.concatenate([dx, dy], axis=k), k)
-
-            return fn, False
-
-        if isinstance(e, Map):
-            return self._compile_map(e), True
-        if isinstance(e, Reduce):
-            return self._compile_reduce(e), True
-        if isinstance(e, Scan):
-            return self._compile_scan(e), True
-        if isinstance(e, ReduceByIndex):
-            return self._compile_hist(e), True
-        if isinstance(e, Scatter):
-            return self._compile_scatter(e), False
-        if isinstance(e, Loop):
-            return self._compile_loop(e), True
-        if isinstance(e, WhileLoop):
-            return self._compile_while(e), True
-        if isinstance(e, If):
-            return self._compile_if(e), True
-        if isinstance(e, WithAcc):
-            return self._compile_withacc(e), True
-        if isinstance(e, UpdAcc):
-            return self._compile_updacc(e), False
-
-        raise ExecError(f"plan compile: unknown expression {type(e).__name__}")
-
-    # -- compound expressions -------------------------------------------------
-
-    def _compile_update(self, e: Update) -> Callable:
-        ra = self.reader(e.arr)
-        ris = tuple(self.reader(i) for i in e.idx)
-        rv = self.reader(e.val)
+    def _emit_update(self, e) -> Callable:
+        ra = _reader(e.arr)
+        ris = tuple(_reader(i) for i in e.idx)
+        rv = _reader(e.val)
 
         def fn(eng, _ra=ra, _ris=ris, _rv=rv):
             regs = eng.regs
@@ -618,14 +354,95 @@ class _PlanCompiler:
                 ad[sel] = np.where(md, vd, old)
             return BV(ad, k)
 
-        return fn
+        return _assign_single(fn, e.out)
 
-    def _compile_map(self, e: Map) -> Callable:
-        arr_rds = tuple(self.reader(a) for a in e.arrs)
-        acc_rds = tuple(self.reader(a) for a in e.accs)
-        pslots = tuple(self.slot(p.name) for p in e.lam.params)
-        code = self.compile_body(e.lam.body)
-        n_acc = len(e.accs)
+    def _emit_iota(self, e) -> Callable:
+        if e.prebuilt is not None:
+            arr = e.prebuilt
+            return _assign_single(lambda eng, _a=arr: BV(_a.copy(), 0), e.out)
+        rn = _int_reader(e.n)
+        dt = e.dtype
+
+        def fn(eng, _rn=rn, _dt=dt):
+            return BV(np.arange(_rn(eng), dtype=_dt), 0)
+
+        return _assign_single(fn, e.out)
+
+    def _emit_replicate(self, e) -> Callable:
+        rn = _int_reader(e.n)
+        rv = _reader(e.v)
+
+        def fn(eng, _rn=rn, _rv=rv):
+            n = _rn(eng)
+            v = _rv(eng.regs)
+            d = np.asarray(v.data)
+            d2 = np.expand_dims(d, axis=v.bdims)
+            shape = d.shape[: v.bdims] + (n,) + d.shape[v.bdims:]
+            return BV(np.broadcast_to(d2, shape).copy(), v.bdims)
+
+        return _assign_single(fn, e.out)
+
+    def _emit_scratch(self, e) -> Callable:
+        rn = _reader(e.n)
+        rx = _reader(e.x)
+
+        def fn(eng, _rn=rn, _rx=rx):
+            nd = np.asarray(_rn(eng.regs).data)
+            n = 0 if nd.size == 0 else int(nd.max())
+            v = _rx(eng.regs)
+            bshape = tuple(eng.bstack)
+            dt = np.asarray(v.data).dtype
+            return BV(np.zeros(bshape + (n,) + v.pshape(), dtype=dt), len(bshape))
+
+        return _assign_single(fn, e.out)
+
+    def _emit_size(self, e) -> Callable:
+        if e.const is not None:
+            bv = e.const
+            return _assign_single(lambda eng, _bv=bv: _bv, e.out)
+        rd = _reader(e.arr)
+        dim = e.dim
+
+        def fn(eng, _rd=rd, _dim=dim):
+            v = _rd(eng.regs)
+            if isinstance(v, AccBV):
+                shape = v.data.shape[v.bdims:]
+                return BV(np.asarray(np.int64(shape[_dim])), 0)
+            return BV(np.asarray(np.int64(v.pshape()[_dim])), 0)
+
+        return _assign_single(fn, e.out)
+
+    def _emit_reverse(self, e) -> Callable:
+        rd = _reader(e.x)
+
+        def fn(eng, _rd=rd):
+            v = _rd(eng.regs)
+            return BV(np.flip(np.asarray(v.data), axis=v.bdims).copy(), v.bdims)
+
+        return _assign_single(fn, e.out)
+
+    def _emit_concat(self, e) -> Callable:
+        rx = _reader(e.x)
+        ry = _reader(e.y)
+
+        def fn(eng, _rx=rx, _ry=ry):
+            regs = eng.regs
+            (dx, dy), k, _ = _align([_rx(regs), _ry(regs)])
+            bx = np.broadcast_shapes(dx.shape[:k], dy.shape[:k])
+            dx = np.broadcast_to(dx, bx + dx.shape[k:])
+            dy = np.broadcast_to(dy, bx + dy.shape[k:])
+            return BV(np.concatenate([dx, dy], axis=k), k)
+
+        return _assign_single(fn, e.out)
+
+    # -- SOACs ----------------------------------------------------------------
+
+    def _emit_map(self, e) -> Callable:
+        arr_rds = tuple(_reader(a) for a in e.arrs)
+        acc_rds = tuple(_reader(a) for a in e.accs)
+        pslots = tuple(s for s, _ in e.params)
+        code = self.emit_body(e.body)
+        n_acc = e.n_acc
 
         def fn(eng, _arrs=arr_rds, _accs=acc_rds, _ps=pslots, _code=code, _na=n_acc):
             d = len(eng.bstack)
@@ -651,127 +468,14 @@ class _PlanCompiler:
                 out.append(BV(np.ascontiguousarray(rd), d))
             return tuple(out)
 
-        return fn
+        return _assign_multi(fn, e.outs)
 
-    def _compile_reduce(self, e: Reduce) -> Callable:
-        arr_rds = tuple(self.reader(a) for a in e.arrs)
-        ne_rds = tuple(self.reader(ne) for ne in e.nes)
-        op = recognize_binop_lambda(e.lam) if len(e.nes) == 1 else None
-        if op is not None:
-            ufunc = _UFUNC[op]
-            fold = not _ne_is_identity(op, e.nes[0])
-            ext = self.static_extent(e.arrs)
-            if ext == 0:
-                # Specialised lowering, extent 0: the reduce is the neutral
-                # element — no ufunc launch at all.
-                def empty(eng, _arrs=arr_rds, _ne=ne_rds[0]):
-                    d = len(eng.bstack)
-                    args, _n = _map_args_rt(eng, _arrs)
-                    data = np.asarray(args[0].data)
-                    nd = _expand(_ne(eng.regs), d)
-                    shape = data.shape[:d] + data.shape[d + 1:]
-                    return (BV(np.broadcast_to(nd, shape).copy(), d),)
-
-                return empty
-            if ext == 1:
-                # Specialised lowering, extent 1: a reduction over one
-                # element is that element (plus the neutral fold).
-                def one(eng, _arrs=arr_rds, _ne=ne_rds[0], _uf=ufunc, _fold=fold):
-                    d = len(eng.bstack)
-                    args, _n = _map_args_rt(eng, _arrs)
-                    red = np.take(np.asarray(args[0].data), 0, axis=d)
-                    if _fold:
-                        red = _uf(_expand(_ne(eng.regs), d), red)
-                    return (BV(red, d),)
-
-                return one
-            if ext is not None:
-                # Specialised lowering, known extent >= 2: the empty branch
-                # is dead, compile it away.
-                def fast_nz(eng, _arrs=arr_rds, _ne=ne_rds[0], _uf=ufunc, _fold=fold):
-                    d = len(eng.bstack)
-                    args, _n = _map_args_rt(eng, _arrs)
-                    red = _uf.reduce(np.asarray(args[0].data), axis=d)
-                    if _fold:
-                        red = _uf(_expand(_ne(eng.regs), d), red)
-                    return (BV(red, d),)
-
-                return fast_nz
-
-            def fast(eng, _arrs=arr_rds, _ne=ne_rds[0], _uf=ufunc, _fold=fold):
-                d = len(eng.bstack)
-                args, _n = _map_args_rt(eng, _arrs)
-                data = np.asarray(args[0].data)
-                if data.shape[d] == 0:
-                    nd = _expand(_ne(eng.regs), d)
-                    shape = data.shape[:d] + data.shape[d + 1:]
-                    return (BV(np.broadcast_to(nd, shape).copy(), d),)
-                red = _uf.reduce(data, axis=d)
-                if _fold:
-                    red = _uf(_expand(_ne(eng.regs), d), red)
-                return (BV(red, d),)
-
-            return fast
-        rm = recognize_redomap_lambda(e.lam) if len(e.nes) == 1 else None
-        if rm is not None:
-            # Fused (redomap-shaped) operator: bulk-map the element function,
-            # then reduce with the ufunc — fusion keeps the fast path.
-            mop, mlam = rm
-            ufunc = _UFUNC[mop]
-            fold = not _ne_is_identity(mop, e.nes[0])
-            ext = self.static_extent(e.arrs)
-            mp = self._compile_map_part(mlam)
-
-            if ext is not None and ext > 0:
-                # Specialised lowering: the extent is known nonzero, the
-                # empty branch is dead.
-                def fused_nz(eng, _arrs=arr_rds, _ne=ne_rds[0], _mp=mp, _uf=ufunc, _fold=fold):
-                    d = len(eng.bstack)
-                    args, n = _map_args_rt(eng, _arrs)
-                    red = _uf.reduce(_mp(eng, args, n), axis=d)
-                    if _fold:
-                        red = _uf(_expand(_ne(eng.regs), d), red)
-                    return (BV(red, d),)
-
-                return fused_nz
-
-            def fused(eng, _arrs=arr_rds, _ne=ne_rds[0], _mp=mp, _uf=ufunc, _fold=fold):
-                d = len(eng.bstack)
-                args, n = _map_args_rt(eng, _arrs)
-                if n == 0:
-                    nd = _expand(_ne(eng.regs), d)
-                    bshape = tuple(eng.bstack)
-                    return (BV(np.broadcast_to(nd, bshape + nd.shape[d:]).copy(), d),)
-                data = _mp(eng, args, n)
-                red = _uf.reduce(data, axis=d)
-                if _fold:
-                    red = _uf(_expand(_ne(eng.regs), d), red)
-                return (BV(red, d),)
-
-            return fused
-        pslots = tuple(self.slot(p.name) for p in e.lam.params)
-        code = self.compile_body(e.lam.body)
-
-        def fn(eng, _arrs=arr_rds, _nes=ne_rds, _ps=pslots, _code=code):
-            d = len(eng.bstack)
-            args, n = _map_args_rt(eng, _arrs)
-            regs = eng.regs
-            acc = [rd(regs) for rd in _nes]
-            for i in range(n):
-                elems = [BV(np.take(np.asarray(a.data), i, axis=d), d) for a in args]
-                for s, v in zip(_ps, acc + elems):
-                    regs[s] = v
-                acc = list(_run_body(eng, _code))
-            return tuple(acc)
-
-        return fn
-
-    def _compile_map_part(self, mlam) -> Callable:
-        """Compile a redomap map part; returns ``(eng, batched_args, n) ->
+    def _emit_map_part(self, params, body) -> Callable:
+        """Emit a redomap map part; returns ``(eng, batched_args, n) ->
         ndarray`` yielding the mapped payload with extent ``n`` on the
         current batch axis."""
-        pslots = tuple(self.slot(p.name) for p in mlam.params)
-        code = self.compile_body(mlam.body)
+        pslots = tuple(s for s, _ in params)
+        code = self.emit_body(body)
 
         def run(eng, args, n, _ps=pslots, _code=code):
             d = len(eng.bstack)
@@ -790,13 +494,118 @@ class _PlanCompiler:
 
         return run
 
-    def _compile_scan(self, e: Scan) -> Callable:
-        arr_rds = tuple(self.reader(a) for a in e.arrs)
-        ne_rds = tuple(self.reader(ne) for ne in e.nes)
-        op = recognize_binop_lambda(e.lam) if len(e.nes) == 1 else None
-        if op is not None:
-            ufunc = _UFUNC[op]
-            fold = not _ne_is_identity(op, e.nes[0])
+    def _emit_reduce(self, e) -> Callable:
+        arr_rds = tuple(_reader(a) for a in e.arrs)
+        ne_rds = tuple(_reader(ne) for ne in e.nes)
+        if e.strategy == "ufunc":
+            ufunc = _UFUNC[e.op]
+            fold = e.fold
+            if e.ext == 0:
+                # Specialised lowering, extent 0: the reduce is the neutral
+                # element — no ufunc launch at all.
+                def empty(eng, _arrs=arr_rds, _ne=ne_rds[0]):
+                    d = len(eng.bstack)
+                    args, _n = _map_args_rt(eng, _arrs)
+                    data = np.asarray(args[0].data)
+                    nd = _expand(_ne(eng.regs), d)
+                    shape = data.shape[:d] + data.shape[d + 1:]
+                    return (BV(np.broadcast_to(nd, shape).copy(), d),)
+
+                return _assign_multi(empty, e.outs)
+            if e.ext == 1:
+                # Specialised lowering, extent 1: a reduction over one
+                # element is that element (plus the neutral fold).
+                def one(eng, _arrs=arr_rds, _ne=ne_rds[0], _uf=ufunc, _fold=fold):
+                    d = len(eng.bstack)
+                    args, _n = _map_args_rt(eng, _arrs)
+                    red = np.take(np.asarray(args[0].data), 0, axis=d)
+                    if _fold:
+                        red = _uf(_expand(_ne(eng.regs), d), red)
+                    return (BV(red, d),)
+
+                return _assign_multi(one, e.outs)
+            if e.ext is not None:
+                # Specialised lowering, known extent >= 2: the empty branch
+                # is dead, compile it away.
+                def fast_nz(eng, _arrs=arr_rds, _ne=ne_rds[0], _uf=ufunc, _fold=fold):
+                    d = len(eng.bstack)
+                    args, _n = _map_args_rt(eng, _arrs)
+                    red = _uf.reduce(np.asarray(args[0].data), axis=d)
+                    if _fold:
+                        red = _uf(_expand(_ne(eng.regs), d), red)
+                    return (BV(red, d),)
+
+                return _assign_multi(fast_nz, e.outs)
+
+            def fast(eng, _arrs=arr_rds, _ne=ne_rds[0], _uf=ufunc, _fold=fold):
+                d = len(eng.bstack)
+                args, _n = _map_args_rt(eng, _arrs)
+                data = np.asarray(args[0].data)
+                if data.shape[d] == 0:
+                    nd = _expand(_ne(eng.regs), d)
+                    shape = data.shape[:d] + data.shape[d + 1:]
+                    return (BV(np.broadcast_to(nd, shape).copy(), d),)
+                red = _uf.reduce(data, axis=d)
+                if _fold:
+                    red = _uf(_expand(_ne(eng.regs), d), red)
+                return (BV(red, d),)
+
+            return _assign_multi(fast, e.outs)
+        if e.strategy == "redomap":
+            ufunc = _UFUNC[e.op]
+            fold = e.fold
+            mp = self._emit_map_part(e.mparams, e.mbody)
+
+            if e.ext is not None and e.ext > 0:
+                # Specialised lowering: the extent is known nonzero, the
+                # empty branch is dead.
+                def fused_nz(eng, _arrs=arr_rds, _ne=ne_rds[0], _mp=mp, _uf=ufunc, _fold=fold):
+                    d = len(eng.bstack)
+                    args, n = _map_args_rt(eng, _arrs)
+                    red = _uf.reduce(_mp(eng, args, n), axis=d)
+                    if _fold:
+                        red = _uf(_expand(_ne(eng.regs), d), red)
+                    return (BV(red, d),)
+
+                return _assign_multi(fused_nz, e.outs)
+
+            def fused(eng, _arrs=arr_rds, _ne=ne_rds[0], _mp=mp, _uf=ufunc, _fold=fold):
+                d = len(eng.bstack)
+                args, n = _map_args_rt(eng, _arrs)
+                if n == 0:
+                    nd = _expand(_ne(eng.regs), d)
+                    bshape = tuple(eng.bstack)
+                    return (BV(np.broadcast_to(nd, bshape + nd.shape[d:]).copy(), d),)
+                data = _mp(eng, args, n)
+                red = _uf.reduce(data, axis=d)
+                if _fold:
+                    red = _uf(_expand(_ne(eng.regs), d), red)
+                return (BV(red, d),)
+
+            return _assign_multi(fused, e.outs)
+        pslots = tuple(s for s, _ in e.params)
+        code = self.emit_body(e.body)
+
+        def fn(eng, _arrs=arr_rds, _nes=ne_rds, _ps=pslots, _code=code):
+            d = len(eng.bstack)
+            args, n = _map_args_rt(eng, _arrs)
+            regs = eng.regs
+            acc = [rd(regs) for rd in _nes]
+            for i in range(n):
+                elems = [BV(np.take(np.asarray(a.data), i, axis=d), d) for a in args]
+                for s, v in zip(_ps, acc + elems):
+                    regs[s] = v
+                acc = list(_run_body(eng, _code))
+            return tuple(acc)
+
+        return _assign_multi(fn, e.outs)
+
+    def _emit_scan(self, e) -> Callable:
+        arr_rds = tuple(_reader(a) for a in e.arrs)
+        ne_rds = tuple(_reader(ne) for ne in e.nes)
+        if e.strategy == "ufunc":
+            ufunc = _UFUNC[e.op]
+            fold = e.fold
 
             def fast(eng, _arrs=arr_rds, _ne=ne_rds[0], _uf=ufunc, _fold=fold):
                 d = len(eng.bstack)
@@ -808,16 +617,13 @@ class _PlanCompiler:
                     acc = _uf(nd, acc)
                 return (BV(acc, d),)
 
-            return fast
-        rm = recognize_redomap_lambda(e.lam) if len(e.nes) == 1 else None
-        if rm is not None:
-            mop, mlam = rm
-            ufunc = _UFUNC[mop]
-            fold = not _ne_is_identity(mop, e.nes[0])
-            ext = self.static_extent(e.arrs)
-            mp = self._compile_map_part(mlam)
+            return _assign_multi(fast, e.outs)
+        if e.strategy == "redomap":
+            ufunc = _UFUNC[e.op]
+            fold = e.fold
+            mp = self._emit_map_part(e.mparams, e.mbody)
 
-            if ext is not None and ext > 0:
+            if e.ext is not None and e.ext > 0:
                 # Specialised lowering: known nonzero extent, dead empty
                 # branch compiled away (the scan analogue of ``fused_nz``).
                 def fused_nz(eng, _arrs=arr_rds, _mp=mp, _uf=ufunc, _nes=ne_rds, _fold=fold):
@@ -829,7 +635,7 @@ class _PlanCompiler:
                         acc = _uf(nd, acc)
                     return (BV(acc, d),)
 
-                return fused_nz
+                return _assign_multi(fused_nz, e.outs)
 
             def fused(eng, _arrs=arr_rds, _mp=mp, _uf=ufunc, _nes=ne_rds, _fold=fold):
                 d = len(eng.bstack)
@@ -845,9 +651,9 @@ class _PlanCompiler:
                     acc = _uf(nd, acc)
                 return (BV(acc, d),)
 
-            return fused
-        pslots = tuple(self.slot(p.name) for p in e.lam.params)
-        code = self.compile_body(e.lam.body)
+            return _assign_multi(fused, e.outs)
+        pslots = tuple(s for s, _ in e.params)
+        code = self.emit_body(e.body)
 
         def fn(eng, _arrs=arr_rds, _nes=ne_rds, _ps=pslots, _code=code):
             d = len(eng.bstack)
@@ -874,14 +680,14 @@ class _PlanCompiler:
                 outs.append(BV(np.stack(col, axis=d), d))
             return tuple(outs)
 
-        return fn
+        return _assign_multi(fn, e.outs)
 
-    def _compile_hist(self, e: ReduceByIndex) -> Callable:
-        rm = self.int_reader(e.num_bins, "histogram size")
-        arr_rds = tuple(self.reader(a) for a in (e.inds,) + e.vals)
-        ne_rds = tuple(self.reader(ne) for ne in e.nes)
-        op = recognize_binop_lambda(e.lam) if len(e.nes) == 1 else None
-        if op is not None:
+    def _emit_hist(self, e) -> Callable:
+        rm = _int_reader(e.num_bins)
+        arr_rds = tuple(_reader(a) for a in e.arrs)
+        ne_rds = tuple(_reader(ne) for ne in e.nes)
+        if e.strategy == "ufunc":
+            op = e.op
             ufunc = _UFUNC[op]
 
             def fast(eng, _rm=rm, _arrs=arr_rds, _ne=ne_rds[0], _op=op, _uf=ufunc):
@@ -915,12 +721,11 @@ class _PlanCompiler:
                 _uf.at(hist, isel, contrib)
                 return (BV(hist, d),)
 
-            return fast
-        redomap = recognize_redomap_lambda(e.lam) if len(e.nes) == 1 else None
-        if redomap is not None:
-            mop, mlam = redomap
+            return _assign_multi(fast, e.outs)
+        if e.strategy == "redomap":
+            mop = e.op
             ufunc = _UFUNC[mop]
-            mp = self._compile_map_part(mlam)
+            mp = self._emit_map_part(e.mparams, e.mbody)
 
             def fused(eng, _rm=rm, _arrs=arr_rds, _ne=ne_rds[0], _mp=mp, _uf=ufunc, _mop=mop):
                 d = len(eng.bstack)
@@ -954,9 +759,9 @@ class _PlanCompiler:
                 _uf.at(hist, isel, contrib)
                 return (BV(hist, d),)
 
-            return fused
-        pslots = tuple(self.slot(p.name) for p in e.lam.params)
-        code = self.compile_body(e.lam.body)
+            return _assign_multi(fused, e.outs)
+        pslots = tuple(s for s, _ in e.params)
+        code = self.emit_body(e.body)
 
         def fn(eng, _rm=rm, _arrs=arr_rds, _nes=ne_rds, _ps=pslots, _code=code):
             d = len(eng.bstack)
@@ -1000,11 +805,11 @@ class _PlanCompiler:
                     h[s] = np.where(w, np.broadcast_to(nd, old.shape), old)
             return tuple(BV(h, d) for h in hists)
 
-        return fn
+        return _assign_multi(fn, e.outs)
 
-    def _compile_scatter(self, e: Scatter) -> Callable:
-        rdest = self.reader(e.dest)
-        arr_rds = (self.reader(e.inds), self.reader(e.vals))
+    def _emit_scatter(self, e) -> Callable:
+        rdest = _reader(e.dest)
+        arr_rds = (_reader(e.inds), _reader(e.vals))
 
         def fn(eng, _rd=rdest, _arrs=arr_rds):
             d = len(eng.bstack)
@@ -1031,14 +836,14 @@ class _PlanCompiler:
             dd[sel] = np.where(w, np.broadcast_to(vdata, old.shape), old)
             return BV(dd, d)
 
-        return fn
+        return _assign_single(fn, e.out)
 
     # -- control flow ---------------------------------------------------------
 
-    def _compile_if(self, e: If) -> Callable:
-        rc = self.reader(e.cond)
-        then_code = self.compile_body(e.then)
-        els_code = self.compile_body(e.els)
+    def _emit_if(self, e) -> Callable:
+        rc = _reader(e.cond)
+        then_code = self.emit_body(e.then)
+        els_code = self.emit_body(e.els)
 
         def fn(eng, _rc=rc, _then=then_code, _els=els_code):
             c = _rc(eng.regs)
@@ -1054,14 +859,14 @@ class _PlanCompiler:
             eng.mask = saved
             return tuple(_where(c, t, f) for t, f in zip(tvals, fvals))
 
-        return fn
+        return _assign_multi(fn, e.outs)
 
-    def _compile_loop(self, e: Loop) -> Callable:
-        rn = self.reader(e.n)
-        init_rds = tuple(self.reader(i) for i in e.inits)
-        islot = self.slot(e.ivar.name)
-        pslots = tuple(self.slot(p.name) for p in e.params)
-        code = self.compile_body(e.body)
+    def _emit_loop(self, e) -> Callable:
+        rn = _reader(e.n)
+        init_rds = tuple(_reader(i) for i in e.inits)
+        islot = e.ivar[0]
+        pslots = tuple(s for s, _ in e.params)
+        code = self.emit_body(e.body)
 
         def fn(eng, _rn=rn, _inits=init_rds, _is=islot, _ps=pslots, _code=code):
             regs = eng.regs
@@ -1091,14 +896,14 @@ class _PlanCompiler:
             eng.mask = saved
             return tuple(state)
 
-        return fn
+        return _assign_multi(fn, e.outs)
 
-    def _compile_while(self, e: WhileLoop) -> Callable:
-        init_rds = tuple(self.reader(i) for i in e.inits)
-        cslots = tuple(self.slot(p.name) for p in e.cond.params)
-        cond_code = self.compile_body(e.cond.body)
-        pslots = tuple(self.slot(p.name) for p in e.params)
-        body_code = self.compile_body(e.body)
+    def _emit_while(self, e) -> Callable:
+        init_rds = tuple(_reader(i) for i in e.inits)
+        cslots = tuple(s for s, _ in e.cparams)
+        cond_code = self.emit_body(e.cbody)
+        pslots = tuple(s for s, _ in e.params)
+        body_code = self.emit_body(e.body)
 
         def fn(eng, _inits=init_rds, _cs=cslots, _cc=cond_code, _ps=pslots, _bc=body_code):
             regs = eng.regs
@@ -1130,15 +935,15 @@ class _PlanCompiler:
             eng.mask = saved
             return tuple(state)
 
-        return fn
+        return _assign_multi(fn, e.outs)
 
     # -- accumulators ---------------------------------------------------------
 
-    def _compile_withacc(self, e: WithAcc) -> Callable:
-        arr_rds = tuple(self.reader(a) for a in e.arrs)
-        pslots = tuple(self.slot(p.name) for p in e.lam.params)
-        code = self.compile_body(e.lam.body)
-        n_acc = len(e.arrs)
+    def _emit_withacc(self, e) -> Callable:
+        arr_rds = tuple(_reader(a) for a in e.arrs)
+        pslots = tuple(s for s, _ in e.params)
+        code = self.emit_body(e.body)
+        n_acc = e.n_acc
 
         def fn(eng, _arrs=arr_rds, _ps=pslots, _code=code, _na=n_acc):
             d = len(eng.bstack)
@@ -1161,12 +966,12 @@ class _PlanCompiler:
             out.extend(res[_na:])
             return tuple(out)
 
-        return fn
+        return _assign_multi(fn, e.outs)
 
-    def _compile_updacc(self, e: UpdAcc) -> Callable:
-        racc = self.reader(e.acc)
-        rv = self.reader(e.v)
-        ris = tuple(self.reader(i) for i in e.idx)
+    def _emit_updacc(self, e) -> Callable:
+        racc = _reader(e.acc)
+        rv = _reader(e.v)
+        ris = tuple(_reader(i) for i in e.idx)
 
         def fn(eng, _racc=racc, _rv=rv, _ris=ris):
             regs = eng.regs
@@ -1197,7 +1002,7 @@ class _PlanCompiler:
             np.add.at(acc.data, sel, vd)
             return acc
 
-        return fn
+        return _assign_single(fn, e.out)
 
 
 # ---------------------------------------------------------------------------
@@ -1206,12 +1011,13 @@ class _PlanCompiler:
 
 
 class Plan:
-    """An executable lowering of one ``Fun``: flat instructions over slots.
+    """An executable lowering of one ``Fun``: flat instruction closures over
+    slots, emitted from the shared plan IR (``exec/lower.py``).
 
     With ``static=None`` the plan is fully shape-generic (tier 1 of the plan
     cache — one lowering serves every concrete signature of a rank/dtype
     signature).  With a ``StaticInfo`` the lowering folds everything the
-    concrete signature determines (tier 2 — see ``_PlanCompiler``); results
+    concrete signature determines (tier 2 — see ``lower._Lowerer``); results
     are bitwise identical either way.
     """
 
@@ -1220,25 +1026,33 @@ class Plan:
         fun: Fun,
         static: Optional[StaticInfo] = None,
         spec_sig: Optional[tuple] = None,
+        ir: Optional[PlanIR] = None,
     ) -> None:
+        t0 = time.perf_counter()
+        if ir is None:
+            ir = lower_fun(fun, static)
         self.fun = fun
-        self.specialized = static is not None
+        self.specialized = ir.specialized
         #: ``(payload shapes, batched flags)`` the specialised lowering is
         #: valid for; ``run``/``run_batched`` enforce it — folded constants
         #: silently produce wrong numbers on any other signature.
         self.spec_sig = spec_sig
-        c = _PlanCompiler(static)
-        self.param_slots = tuple(c.slot(p.name) for p in fun.params)
-        self.param_types = tuple(p.type for p in fun.params)
-        self.code = c.compile_body(fun.body)
-        self.nslots = len(c.slots)
+        em = _ClosureEmitter()
+        self.param_slots = ir.param_slots
+        self.param_types = ir.param_types
+        self.code = em.emit_body(ir.body)
+        self.nslots = ir.nslots
         #: Statements collapsed into fused scalar-run closures (recursive).
-        self.fused_stms = c.fused
+        self.fused_stms = ir.fused
         #: Compile-time folds performed by the specialised lowering.
-        self.spec_folds = c.folds
+        self.spec_folds = ir.folds
+        dt = time.perf_counter() - t0
         with _LOCK:
-            PLAN_STATS["fused_stms"] += c.fused
-            PLAN_STATS["spec_folds"] += c.folds
+            PLAN_STATS["fused_stms"] += ir.fused
+            PLAN_STATS["spec_folds"] += ir.folds
+            st = EMITTER_STATS.setdefault("plan", {"plans": 0, "emit_s": 0.0})
+            st["plans"] += 1
+            st["emit_s"] += dt
 
     def __repr__(self) -> str:
         kind = "specialized " if self.specialized else ""
@@ -1249,26 +1063,7 @@ class Plan:
         )
 
     def _check_spec_sig(self, args: Sequence[object], batched) -> None:
-        """Reject arguments outside a specialised plan's signature loudly —
-        constants folded for one signature are wrong for every other."""
-        if self.spec_sig is None:
-            return
-        exp_shapes, exp_flags = self.spec_sig
-        flags = tuple(batched) if batched is not None else (False,) * len(args)
-        if flags != exp_flags:
-            raise ExecError(
-                f"{self.fun.name}: plan specialised for batched flags "
-                f"{exp_flags}, called with {flags}"
-            )
-        for i, (a, f, exp) in enumerate(zip(args, flags, exp_shapes)):
-            s = np.asarray(a).shape
-            if f:
-                s = s[1:]
-            if tuple(s) != exp:
-                raise ExecError(
-                    f"{self.fun.name}: plan specialised for argument {i} "
-                    f"payload shape {exp}, got {tuple(s)}"
-                )
+        check_spec_sig(self.fun.name, self.spec_sig, args, batched)
 
     def run(self, args: Sequence[object]) -> Tuple[object, ...]:
         if len(args) != len(self.param_slots):
@@ -1362,15 +1157,56 @@ def specialized_plan(
     ``run_batched`` — it is stripped before inference, since static facts
     describe *payload* shapes.
     """
-    flags = tuple(bool(f) for f in batched) if batched is not None else (False,) * len(args)
-    shapes = []
-    for a, f in zip(args, flags):
-        s = np.asarray(a).shape
-        shapes.append(tuple(s[1:]) if f else tuple(s))
+    shapes, flags = spec_signature(args, batched)
     return Plan(
         fun,
-        static=infer_static_shapes(fun, shapes),
-        spec_sig=(tuple(shapes), flags),
+        static=infer_static_shapes(fun, list(shapes)),
+        spec_sig=(shapes, flags),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Emitter registry
+# ---------------------------------------------------------------------------
+
+#: Plan emitters by name: ``build(fun, static=None, spec_sig=None)`` returns
+#: a plan-like object (``run``/``run_batched``/``spec_sig``).  The closure
+#: interpreter registers as ``"plan"`` here; ``exec/codegen.py`` registers
+#: ``"codegen"`` on import (resolved lazily below so the plan backend never
+#: pays for the codegen module).
+_EMITTERS: Dict[str, Callable] = {}
+
+
+def register_emitter(name: str, build: Callable) -> None:
+    """Register a plan-family emitter (``build(fun, static, spec_sig)``)."""
+    _EMITTERS[name] = build
+
+
+register_emitter("plan", Plan)
+
+
+def _resolve_emitter(name: str) -> Callable:
+    build = _EMITTERS.get(name)
+    if build is None and name == "codegen":
+        from . import codegen  # noqa: F401  (registers itself on import)
+
+        build = _EMITTERS.get(name)
+    if build is None:
+        raise ExecError(
+            f"unknown plan emitter {name!r} (have {sorted(_EMITTERS)})"
+        )
+    return build
+
+
+def _specialized_build(
+    build: Callable, fun: Fun, args: Sequence[object], batched
+):
+    """A fresh tier-2 plan through ``build`` (the promotion path)."""
+    shapes, flags = spec_signature(args, batched)
+    return build(
+        fun,
+        static=infer_static_shapes(fun, list(shapes)),
+        spec_sig=(shapes, flags),
     )
 
 
@@ -1396,13 +1232,20 @@ PLAN_STATS = {
     "spec_folds": 0,
 }
 
-#: Tier 1: shape-generic plans keyed by ``(fun, backend, rank/dtype
-#: signature, batched flags)``.  Tier 2: specialised plans keyed by the full
-#: concrete ``(shape, dtype)`` signature.  ``_PROMO`` counts tier-1 hits per
-#: concrete signature, driving promotion; its entries are ``(fun, count)``
-#: pairs — the strong ``fun`` reference (identity-checked on read) upholds
-#: the same id-recycling soundness invariant as the plan tiers.  All three
-#: are mutated only under ``_LOCK`` together with ``PLAN_STATS`` (shard
+#: Per-emitter construction counters (``plans`` built, ``emit_s`` wall-clock
+#: spent lowering+emitting; the codegen emitter adds ``code_objects``,
+#: ``source_bytes`` and ``compile_s``).  Mutated under ``_LOCK``; snapshot
+#: via ``plan_cache_stats()["emitters"]``; reset by ``clear_plan_cache``.
+EMITTER_STATS: Dict[str, Dict[str, object]] = {}
+
+#: Tier 1: shape-generic plans keyed by ``(ir_hash(fun), backend, emitter,
+#: rank/dtype signature, batched flags)``.  Tier 2: specialised plans keyed
+#: by the full concrete ``(shape, dtype)`` signature.  ``_PROMO`` counts
+#: tier-1 hits per concrete signature, driving promotion; its entries are
+#: ``(count, threshold)`` pairs.  Content-hash keys make entries shareable
+#: across alpha-equivalent ``Fun`` objects (and immune to id recycling —
+#: the old identity-keyed soundness argument is gone entirely).  All three
+#: are mutated only under ``_LOCK`` together with the stats dicts (shard
 #: thread mode resolves plans from pool workers).
 _GENERIC = BoundedLRU()
 _SPECIAL = BoundedLRU()
@@ -1480,43 +1323,50 @@ def plan_for(
     args: Sequence[object],
     batched: Optional[Sequence[bool]] = None,
     backend: str = "plan",
-) -> Plan:
+    emitter: Optional[str] = None,
+):
     """The cached plan for ``fun`` given ``args``' shapes/dtypes — two tiers.
 
-    **Tier 1 (generic):** keyed by ``(id(fun), backend, rank/dtype
-    signature, batched flags)`` — concrete extents are *not* part of the
-    key, so sweeping a problem-size axis (GMM D0→D6, BA camera counts,
-    shard chunk extents) re-uses one lowering instead of re-lowering and
-    evicting per shape.  The ``backend`` dimension keeps entries lowered on
-    behalf of different executors apart (shard chunk plans can never
-    collide with plain plan-backend entries for the same ``Fun``).
+    **Tier 1 (generic):** keyed by ``(ir_hash(fun), backend, emitter,
+    rank/dtype signature, batched flags)`` — the content hash shares one
+    lowering across alpha-equivalent ``Fun`` bodies, and concrete extents
+    are *not* part of the key, so sweeping a problem-size axis (GMM D0→D6,
+    BA camera counts, shard chunk extents) re-uses one lowering instead of
+    re-lowering and evicting per shape.  The ``backend``/``emitter``
+    dimensions keep entries lowered on behalf of different executors apart
+    (shard chunk plans and codegen code objects can never collide with
+    plain plan-backend entries for the same ``Fun``).
 
     **Tier 2 (specialised, ``REPRO_PLAN_SPECIALIZE``):** after a concrete
     ``(shape, dtype)`` signature scores ``REPRO_PLAN_SPECIALIZE_AFTER``
     tier-1 hits, it is promoted: a plan is re-lowered with the signature's
     static facts folded in (``Size`` constants, prebuilt iotas, extent-picked
-    reduce strategies — see ``_PlanCompiler``) and served for that exact
+    reduce strategies — see ``exec/lower.py``) and served for that exact
     signature from then on.  Promotion is a pure optimisation: specialised
     and generic plans agree bitwise.
 
-    Cached plans hold strong references to their ``fun``, so keyed ids
-    cannot be recycled while entries live; both tiers are LRUs bounded by
-    ``REPRO_PLAN_CACHE_SIZE`` entries each (default 512, ``0`` unbounded)
-    and entries never go stale (``Fun`` is immutable).  The whole lookup —
-    cache mutation, counters, and any lowering — runs under one re-entrant
-    lock, so concurrent shard workers can never corrupt the LRU order or
-    lose stat increments (and a plan is lowered once, not once per racing
-    thread).
+    ``emitter`` picks how the lowered IR executes — ``"plan"`` (closure
+    interpreter, the default) or ``"codegen"`` (compiled source); it
+    defaults to ``"codegen"`` when ``backend="codegen"``.  Both tiers are
+    LRUs bounded by ``REPRO_PLAN_CACHE_SIZE`` entries each (default 512,
+    ``0`` unbounded) and entries never go stale (``Fun`` is immutable).
+    The whole lookup — cache mutation, counters, and any lowering — runs
+    under one re-entrant lock, so concurrent shard workers can never
+    corrupt the LRU order or lose stat increments (and a plan is lowered
+    once, not once per racing thread).
     """
+    if emitter is None:
+        emitter = "codegen" if backend == "codegen" else "plan"
+    build = _resolve_emitter(emitter)
     flags = tuple(batched) if batched is not None else None
-    base = (id(fun), backend, flags)
+    base = (ir_hash(fun), backend, emitter, flags)
     gkey = base + (_generic_sig_of(args),)
     cap = env_capacity("REPRO_PLAN_CACHE_SIZE", _DEFAULT_CACHE_SIZE)
     with _LOCK:
         plan = _GENERIC.get(gkey, _MISS)
         if plan is _MISS:
             PLAN_STATS["misses"] += 1
-            plan = Plan(fun)
+            plan = build(fun)
             PLAN_STATS["evictions"] += _GENERIC.put(gkey, plan, cap)
             return plan
         skey = base + (_sig_of(args),)
@@ -1527,30 +1377,32 @@ def plan_for(
         PLAN_STATS["hits"] += 1
         if specialize_enabled():
             ent = _PROMO.get(skey)
-            if ent is not None and ent[0] is fun:
-                n, thr = ent[1] + 1, ent[2]
+            if ent is not None:
+                n, thr = ent[0] + 1, ent[1]
             else:
                 # First tier-1 hit of this signature: derive (and memoise)
                 # its promotion threshold from the cost model — the
                 # amortisation estimate runs once per signature, not per hit.
                 n, thr = 1, _promo_threshold(fun, args, batched)
-            _PROMO.put(skey, (fun, n, thr), cap * 8 if cap > 0 else 0)
+            _PROMO.put(skey, (n, thr), cap * 8 if cap > 0 else 0)
             if thr is not None and n >= thr:
-                sp = specialized_plan(fun, args, batched)
+                sp = _specialized_build(build, fun, args, batched)
                 PLAN_STATS["promotions"] += 1
                 PLAN_STATS["evictions"] += _SPECIAL.put(skey, sp, cap)
                 return sp
         return plan
 
 
-def plan_cache_stats() -> Dict[str, int]:
+def plan_cache_stats() -> Dict[str, object]:
     """A snapshot of the cache counters plus the current entry counts
-    (``entries`` — generic tier, ``specialized_entries`` — specialised)."""
+    (``entries`` — generic tier, ``specialized_entries`` — specialised) and
+    the per-emitter construction breakdown (``emitters``)."""
     with _LOCK:
         return {
             **PLAN_STATS,
             "entries": len(_GENERIC),
             "specialized_entries": len(_SPECIAL),
+            "emitters": {k: dict(v) for k, v in EMITTER_STATS.items()},
         }
 
 
@@ -1562,6 +1414,7 @@ def clear_plan_cache() -> None:
         _PROMO.clear()
         for k in PLAN_STATS:
             PLAN_STATS[k] = 0
+        EMITTER_STATS.clear()
 
 
 def run_fun_plan(fun: Fun, args: Sequence[object]) -> Tuple[object, ...]:

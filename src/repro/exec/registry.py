@@ -15,6 +15,8 @@ Built-in backends, registered at import:
 * ``vec``   — the vectorised SIMT simulator (re-interprets the IR per call);
 * ``ref``   — the reference interpreter (semantics oracle, cost model);
 * ``plan``  — the cached plan compiler (lower once, replay closures);
+* ``codegen`` — the source codegen executor (same lowering, plan IR rendered
+  to one compiled Python function; see ``exec/codegen.py``);
 * ``shard`` — the sharded parallel executor (chunked plan execution on a
   worker pool; see ``exec/shard.py``).
 
@@ -157,6 +159,7 @@ def _run_ref(fun: Fun, args: Sequence[object]) -> Tuple[object, ...]:
 
 
 def _register_builtins() -> None:
+    from .codegen import run_fun_codegen, run_fun_codegen_batched
     from .plan import run_fun_plan, run_fun_plan_batched
     from .shard import run_fun_shard, run_fun_shard_batched
     from .vector import run_fun_vec, run_fun_vec_batched
@@ -182,6 +185,14 @@ def _register_builtins() -> None:
             run=run_fun_plan,
             run_batched=run_fun_plan_batched,
             description="cached plan compiler (lower once, replay closures)",
+        )
+    )
+    register_backend(
+        Backend(
+            "codegen",
+            run=run_fun_codegen,
+            run_batched=run_fun_codegen_batched,
+            description="source codegen (plan IR compiled to one Python function)",
         )
     )
     register_backend(

@@ -49,7 +49,9 @@ persistent pool; ``REPRO_SHARD_MODE`` selects it:
   chunks of every extent share one tier-1 shape-generic lowering, and hot
   chunk-extent buckets are promoted to tier-2 specialised plans —
   ``Plan.run`` keeps all mutable state per call, so concurrent runs are
-  safe.
+  safe.  ``REPRO_SHARD_EMITTER`` (``plan``/``codegen``) selects which
+  plan-family emitter chunks compile with; unset, chunks run codegen-
+  compiled exactly when the session backend is ``codegen``.
 * ``process`` — a spawn-based ``ProcessPoolExecutor`` for workloads whose
   Python-side dispatch would serialise on the GIL.  ndarray inputs/outputs
   travel through ``multiprocessing.shared_memory`` segments (pickled inline
@@ -87,7 +89,7 @@ import numpy as np
 from ..ir.analysis import ShardSplit, shard_split
 from ..ir.ast import Fun
 from ..ir.cost_model import soac_elem_cost, task_grain
-from ..util import BoundedLRU, env_capacity
+from ..util import BoundedLRU, ReproError, env_capacity
 from .plan import Plan, plan_for, run_fun_plan, run_fun_plan_batched
 from .vector import _UFUNC
 
@@ -146,6 +148,25 @@ def _max_tasks() -> int:
 def _shm_min() -> int:
     """Bytes below which process-mode values travel by pickle, not shm."""
     return env_capacity("REPRO_SHARD_SHM_MIN", 16384)
+
+
+def _chunk_emitter() -> str:
+    """Which plan-family emitter thread-mode chunks compile with.
+
+    ``REPRO_SHARD_EMITTER`` picks explicitly (``plan`` or ``codegen``);
+    unset, chunks follow the session default — codegen-compiled when the
+    session backend is ``codegen``, closure plans otherwise.  Process-mode
+    workers always build closure ``Plan``s on their side (code objects do
+    not pickle), so the knob only affects the thread path.
+    """
+    em = os.environ.get("REPRO_SHARD_EMITTER")
+    if em is not None:
+        if em not in ("plan", "codegen"):
+            raise ReproError(
+                f"REPRO_SHARD_EMITTER={em!r}: expected 'plan' or 'codegen'"
+            )
+        return em
+    return "codegen" if os.environ.get("REPRO_BACKEND") == "codegen" else "plan"
 
 
 # ---------------------------------------------------------------------------
@@ -563,8 +584,10 @@ def _dispatch(
             shutdown_shard_pool()
             _PROCESS_BROKEN = True
 
+    emitter = _chunk_emitter()
+
     def run_chunk(args, bn=None):
-        plan = plan_for(fun, args, batched, backend="shard")
+        plan = plan_for(fun, args, batched, backend="shard", emitter=emitter)
         if batched is None:
             return plan.run(args)
         return plan.run_batched(args, batched, bn)

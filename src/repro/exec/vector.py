@@ -182,8 +182,15 @@ def _mask_where(state, v: np.ndarray, k: int, neutral) -> np.ndarray:
 
 
 def _elem(f, *vs) -> BV:
-    datas, k, _ = _align(list(vs))
-    return BV(np.asarray(f(*datas)), k)
+    # Fast path: with no batch axes anywhere, the explicit rank padding
+    # ``_align`` performs is exactly NumPy's implicit left-pad broadcasting,
+    # so applying ``f`` directly is bitwise identical — and this is the hot
+    # case in element-at-a-time generic SOAC loops.
+    for v in vs:
+        if v.bdims:
+            datas, k, _ = _align(list(vs))
+            return BV(np.asarray(f(*datas)), k)
+    return BV(np.asarray(f(*[np.asarray(v.data) for v in vs])), 0)
 
 
 def _where(c: BV, t, f):

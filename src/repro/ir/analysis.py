@@ -1,6 +1,7 @@
 """Small IR analyses shared by executors, AD rules and optimisation passes."""
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, replace
 from typing import Dict, Optional, Sequence, Tuple
 
@@ -52,6 +53,7 @@ __all__ = [
     "shard_split",
     "StaticInfo",
     "infer_static_shapes",
+    "ir_hash",
 ]
 
 
@@ -752,3 +754,170 @@ def perfect_map_nest(exp) -> Tuple[Tuple[Map, ...], Body]:
         else:
             return tuple(chain), body
     return tuple(chain), None  # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------------
+# Alpha-invariant content hash
+# ---------------------------------------------------------------------------
+
+#: Memo for ``ir_hash``: the plan cache calls it once per ``plan_for`` (i.e.
+#: per executed call on the plan-family backends), and the hash walks the
+#: whole ``Fun``.  Keyed by ``id`` with the hashed ``Fun`` kept alive in the
+#: entry (ids cannot recycle while entries live); an LRU bounded by
+#: ``REPRO_ANALYSIS_CACHE_SIZE`` like the other analysis memos.
+_IR_HASH_MEMO = BoundedLRU()
+_IR_HASH_MEMO_CAP = 4096
+
+
+def ir_hash(fun: Fun) -> str:
+    """An alpha-invariant structural content hash of ``fun``.
+
+    Two ``Fun``s hash equal iff they are identical up to a consistent
+    renaming of SSA names: every variable is replaced by its de-Bruijn-style
+    introduction index (binding sites come before uses in ANF, and the walk
+    order is deterministic, so alpha-equivalent programs number their
+    variables identically).  Everything semantically load-bearing — node
+    kinds, operator names, types, constant values, loop annotations — feeds
+    the digest, so semantically different programs hash apart.
+
+    This is the tier-1 plan-cache key: tracing the same source function
+    twice yields alpha-equivalent ``Fun``s with fresh SSA names, and hashing
+    lets them share one lowering (and is the identity a future disk cache or
+    RPC plan shipping would key on).  Memoised per ``Fun`` object.
+    """
+    ent = _IR_HASH_MEMO.get(id(fun))
+    if ent is not None and ent[0] is fun:
+        return ent[1]
+    h = hashlib.blake2b(digest_size=16)
+    ids: Dict[str, int] = {}
+    feed = h.update
+
+    def name_of(n: str) -> int:
+        i = ids.get(n)
+        if i is None:
+            i = len(ids)
+            ids[n] = i
+        return i
+
+    def atom(a) -> None:
+        if isinstance(a, Var):
+            feed(b"v%d:%s;" % (name_of(a.name), repr(a.type).encode()))
+        else:
+            feed(b"c%s:%s;" % (repr(a.type).encode(), repr(a.value).encode()))
+
+    def atoms(xs) -> None:
+        for a in xs:
+            atom(a)
+
+    def lam(l: Lambda) -> None:
+        feed(b"lam%d(" % len(l.params))
+        atoms(l.params)
+        body(l.body)
+        feed(b")")
+
+    def exp(e) -> None:
+        t = type(e)
+        feed(t.__name__.encode())
+        if t in (AtomExp, ZerosLike):
+            atom(e.x)
+        elif t is UnOp:
+            feed(e.op.encode())
+            atom(e.x)
+        elif t is BinOp:
+            feed(e.op.encode())
+            atoms((e.x, e.y))
+        elif t is Select:
+            atoms((e.c, e.t, e.f))
+        elif t is Cast:
+            atom(e.x)
+            feed(repr(e.to).encode())
+        elif t is Index:
+            atom(e.arr)
+            atoms(e.idx)
+        elif t is Update:
+            atom(e.arr)
+            atoms(e.idx)
+            atom(e.val)
+        elif t is Iota:
+            atom(e.n)
+            feed(repr(e.elem).encode())
+        elif t is Replicate:
+            atoms((e.n, e.v))
+        elif t is ScratchLike:
+            atoms((e.n, e.x))
+        elif t is Size:
+            atom(e.arr)
+            feed(b"%d" % e.dim)
+        elif t is Reverse:
+            atom(e.x)
+        elif t is Concat:
+            atoms((e.x, e.y))
+        elif t is Map:
+            lam(e.lam)
+            atoms(e.arrs)
+            feed(b"|")
+            atoms(e.accs)
+        elif t in (Reduce, Scan):
+            lam(e.lam)
+            atoms(e.nes)
+            feed(b"|")
+            atoms(e.arrs)
+        elif t is ReduceByIndex:
+            atom(e.num_bins)
+            lam(e.lam)
+            atoms(e.nes)
+            feed(b"|")
+            atom(e.inds)
+            atoms(e.vals)
+        elif t is Scatter:
+            atoms((e.dest, e.inds, e.vals))
+        elif t is Loop:
+            atoms(e.params)
+            feed(b"=")
+            atoms(e.inits)
+            atom(e.ivar)
+            atom(e.n)
+            body(e.body)
+            feed(b"sm%d,cp%s" % (e.stripmine, e.checkpoint.encode()))
+        elif t is WhileLoop:
+            atoms(e.params)
+            feed(b"=")
+            atoms(e.inits)
+            lam(e.cond)
+            body(e.body)
+            if e.bound is not None:
+                feed(b"bound:")
+                atom(e.bound)
+        elif t is If:
+            atom(e.cond)
+            body(e.then)
+            body(e.els)
+        elif t is WithAcc:
+            atoms(e.arrs)
+            lam(e.lam)
+        elif t is UpdAcc:
+            atom(e.acc)
+            atoms(e.idx)
+            atom(e.v)
+        else:  # future node kinds: still deterministic, never silent
+            feed(repr(e).encode())
+        feed(b";")
+
+    def body(b: Body) -> None:
+        feed(b"{")
+        for stm in b.stms:
+            atoms(stm.pat)
+            feed(b"=")
+            exp(stm.exp)
+        feed(b"->")
+        atoms(b.result)
+        feed(b"}")
+
+    feed(b"fun%d(" % len(fun.params))
+    atoms(fun.params)
+    body(fun.body)
+    feed(b")")
+    digest = h.hexdigest()
+    cap = env_capacity("REPRO_ANALYSIS_CACHE_SIZE", _IR_HASH_MEMO_CAP)
+    _IR_HASH_MEMO.put(id(fun), (fun, digest), cap)
+    return digest

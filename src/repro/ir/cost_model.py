@@ -514,7 +514,7 @@ def count_fold_opportunities(fun: Fun, info: StaticInfo) -> int:
     """How many compile-time folds a plan specialised under ``info`` could
     perform: ``Size`` nodes with known shapes, iota/replicate/histogram
     extents with known values, reduce/scan strategies pickable by a known
-    extent.  The walk mirrors the fold sites in ``exec/plan._PlanCompiler``
+    extent.  The walk mirrors the fold sites in ``exec/lower._Lowerer``
     without lowering anything."""
 
     count = 0

@@ -12,24 +12,34 @@ import repro as rp
 #: mostly falls back to ``plan`` at test sizes (extents below
 #: ``REPRO_SHARD_MIN_CHUNK``), which still exercises its dispatch and
 #: analysis paths — ``tests/test_exec_shard.py`` lowers the chunking
-#: threshold to force genuine multi-worker execution.
-BACKENDS = ("ref", "vec", "plan", "shard")
+#: threshold to force genuine multi-worker execution.  ``codegen`` shares
+#: the plan lowering and must match ``plan`` *bitwise* (asserted below),
+#: not merely to tolerance.
+BACKENDS = ("ref", "vec", "plan", "codegen", "shard")
 
 
 def run_both(fc, *args):
     """Run a compiled function on every backend and assert agreement with
-    the reference interpreter."""
+    the reference interpreter; ``codegen`` must additionally be bitwise
+    identical to ``plan`` (same lowering, same NumPy call sequence)."""
     r_ref = fc(*args, backend="ref")
     rr = r_ref if isinstance(r_ref, tuple) else (r_ref,)
+    by_backend = {}
     for be in BACKENDS[1:]:
         r_be = fc(*args, backend=be)
         rv = r_be if isinstance(r_be, tuple) else (r_be,)
+        by_backend[be] = rv
         assert len(rr) == len(rv), f"backend {be}: result arity mismatch"
         for a, b in zip(rr, rv):
             np.testing.assert_allclose(
                 np.asarray(a), np.asarray(b), rtol=1e-10, atol=1e-10,
                 err_msg=f"backend {be} disagrees with ref",
             )
+    for a, b in zip(by_backend["plan"], by_backend["codegen"]):
+        np.testing.assert_array_equal(
+            np.asarray(a), np.asarray(b),
+            err_msg="codegen is not bitwise identical to plan",
+        )
     return r_ref
 
 

@@ -1,0 +1,248 @@
+"""Source-codegen backend (``exec/codegen.py``): bitwise parity with the
+closure interpreter across generic and specialised tiers, cache accounting
+for code objects, the ``REPRO_CODEGEN_DUMP`` knob, and codegen-compiled
+shard chunks."""
+import os
+
+import numpy as np
+import pytest
+
+import repro as rp
+from helpers import run_both
+from repro.exec.codegen import CodegenPlan, compile_codegen
+from repro.exec.plan import (
+    Plan,
+    clear_plan_cache,
+    compile_plan,
+    plan_cache_stats,
+    plan_for,
+)
+from repro.util import ExecError, ReproError
+
+rng = np.random.default_rng(29)
+
+
+def _sum_kernel():
+    def f(v):
+        return rp.sum(rp.map(lambda x: rp.sin(x) * x, v)) + rp.astype(
+            rp.size(v), rp.F64
+        )
+
+    return rp.compile(rp.trace_like(f, (np.ones(4),)))
+
+
+#: The construct battery from the plan-cache suite, re-run here against the
+#: codegen emitter: every SOAC strategy/extent fast path, control flow,
+#: accumulators, and the specialised folds.
+_BATTERY = [
+    ("size_iota_replicate", lambda v: rp.sum(
+        rp.map(lambda i: rp.astype(i, rp.F64), rp.iota(rp.size(v)))
+    ) * rp.sum(v), (np.ones(5),), (rng.standard_normal(7),)),
+    ("reduce_nonempty", lambda v: rp.sum(v) + rp.reduce(
+        lambda a, b: rp.maximum(a, b), -1.0e9, v
+    ), (np.ones(6),), (rng.standard_normal(9),)),
+    ("reduce_empty", lambda v: rp.sum(v), (np.zeros(0),), (np.zeros(0),)),
+    ("reduce_one", lambda v: rp.sum(v) * 3.0, (np.ones(1),),
+     (rng.standard_normal(1),)),
+    ("scan_hist", lambda inds, vals: rp.sum(
+        rp.scan(lambda a, b: a + b, 0.0, vals)
+    ) + rp.sum(rp.reduce_by_index(4, lambda a, b: a + b, 0.0, inds, vals)),
+     (np.array([0, 1, 2]), np.ones(3)),
+     (np.array([3, 1, -1, 2, 0]), rng.standard_normal(5))),
+    ("loop_while_if", lambda x, v: rp.cond(
+        x > 0.0,
+        lambda: rp.fori_loop(3, lambda i, a: a + rp.sum(v), x),
+        lambda: rp.while_loop(lambda a: a < 4.0, lambda a: a + 1.0, x),
+    ), (0.5, np.ones(4)), (-2.5, rng.standard_normal(6))),
+    ("update_scatter_concat", lambda v, inds: rp.sum(
+        rp.concat(rp.update(v, 1, 9.0),
+                  rp.reverse(rp.scatter(rp.zeros_like(v), inds, v)))
+    ), (np.ones(4), np.array([0, 2, 1, 3])),
+     (rng.standard_normal(4), np.array([3, 0, 2, 1]))),
+    ("nested_map_redomap", lambda m: rp.map(
+        lambda r: rp.sum(rp.map(lambda x: rp.exp(x) * x, r)), m
+    ), (np.ones((3, 4)),), (rng.standard_normal((5, 2)),)),
+]
+
+
+# ---------------------------------------------------------------------------
+# Bitwise parity: codegen vs plan, generic vs specialised
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name,f,ex,args", _BATTERY, ids=[b[0] for b in _BATTERY])
+def test_codegen_generic_and_specialized_bitwise_battery(name, f, ex, args):
+    fc = rp.compile(rp.trace_like(f, ex))
+    run_both(fc, *args)  # includes the suite-wide plan↔codegen bitwise check
+    fun = fc.fun
+    plan = compile_plan(fun)
+    generic = compile_codegen(fun)
+    spec = compile_codegen(fun, args)
+    rp_ = plan.run(tuple(args))
+    rg = generic.run(tuple(args))
+    rs = spec.run(tuple(args))
+    assert len(rp_) == len(rg) == len(rs)
+    for a, b, c in zip(rp_, rg, rs):
+        np.testing.assert_array_equal(np.asarray(a), np.asarray(b))
+        np.testing.assert_array_equal(np.asarray(a), np.asarray(c))
+
+
+def test_codegen_gradients_bitwise_vs_plan():
+    def f(v, w):
+        s = rp.sum(v * w)
+        wh = rp.while_loop(lambda a: a < 10.0, lambda a: a * 2.0, 1.0 + 0.0 * s)
+        return s * wh + rp.sum(rp.scan(lambda a, b: a + b, 0.0, v))
+
+    v, w = rng.standard_normal(8), rng.standard_normal(8)
+    fc = rp.compile(rp.trace_like(f, (v, w)))
+    g = rp.grad(fc)
+    for a, b in zip(g(v, w, backend="plan"), g(v, w, backend="codegen")):
+        np.testing.assert_array_equal(np.asarray(a), np.asarray(b))
+
+
+def test_codegen_batched_bitwise_vs_plan():
+    fun = rp.trace_like(lambda v, w: rp.sum(v * w) * rp.sum(v + w),
+                        (np.ones(6), np.ones(6)))
+    B = 4
+    vb = rng.standard_normal((B, 6))
+    w = rng.standard_normal(6)
+    rp_ = Plan(fun).run_batched((vb, w), (True, False), B)
+    cg = CodegenPlan(fun).run_batched((vb, w), (True, False), B)
+    for a, b in zip(rp_, cg):
+        np.testing.assert_array_equal(np.asarray(a), np.asarray(b))
+
+
+def test_specialized_codegen_rejects_other_shapes_loudly():
+    fc = _sum_kernel()
+    spec = compile_codegen(fc.fun, (np.ones(4),))
+    with pytest.raises(ExecError, match="specialised for argument 0"):
+        spec.run((np.ones(7),))
+    with pytest.raises(ExecError, match="batched flags"):
+        spec.run_batched((np.ones((2, 4)),), (True,), 2)
+
+
+# ---------------------------------------------------------------------------
+# Cache-tier accounting: code objects ride the same two-tier cache
+# ---------------------------------------------------------------------------
+
+
+def test_codegen_shape_sweep_one_code_object_per_signature():
+    fc = _sum_kernel()
+    clear_plan_cache()
+    sizes = (3, 4, 5, 6, 7, 8)
+    for n in sizes:
+        x = rng.standard_normal(n)
+        np.testing.assert_allclose(
+            fc(x, backend="codegen"), fc(x, backend="ref"),
+            rtol=1e-12, atol=1e-12,
+        )
+    st = plan_cache_stats()
+    assert st["misses"] == 1, f"sweep re-compiled codegen plans: {st}"
+    assert st["hits"] + st["specialized_hits"] == len(sizes) - 1
+    em = st["emitters"]["codegen"]
+    assert em["plans"] == 1
+    assert em["code_objects"] == 1
+    assert em["source_bytes"] > 0
+    assert em["compile_s"] >= 0.0 and em["emit_s"] >= 0.0
+
+
+def test_codegen_promotion_counts_specialised_code_objects(monkeypatch):
+    monkeypatch.setenv("REPRO_PLAN_SPECIALIZE", "1")
+    monkeypatch.setenv("REPRO_PLAN_SPECIALIZE_AFTER", "2")
+    fc = _sum_kernel()
+    clear_plan_cache()
+    x = rng.standard_normal(6)
+    results = [np.asarray(fc(x, backend="codegen")) for _ in range(5)]
+    st = plan_cache_stats()
+    assert st["promotions"] == 1
+    assert st["specialized_entries"] == 1
+    em = st["emitters"]["codegen"]
+    assert em["plans"] == 2  # one generic + one promoted specialised
+    assert em["code_objects"] == 2
+    for r in results[1:]:  # bitwise across the generic->specialised switch
+        np.testing.assert_array_equal(results[0], r)
+
+
+def test_plan_and_codegen_emitters_get_separate_cache_rows():
+    fc = _sum_kernel()
+    clear_plan_cache()
+    x = rng.standard_normal(5)
+    p1 = plan_for(fc.fun, (x,), emitter="plan")
+    p2 = plan_for(fc.fun, (x,), emitter="codegen")
+    st = plan_cache_stats()
+    assert st["entries"] == 2 and st["misses"] == 2
+    assert isinstance(p1, Plan) and isinstance(p2, CodegenPlan)
+    assert plan_for(fc.fun, (x,), emitter="codegen") is p2  # cached repeat
+    np.testing.assert_array_equal(p1.run((x,))[0], p2.run((x,))[0])
+    assert set(st["emitters"]) >= {"plan", "codegen"}
+
+
+def test_unknown_emitter_raises_listing_the_registered_set():
+    fc = _sum_kernel()
+    with pytest.raises(ExecError, match="unknown plan emitter"):
+        plan_for(fc.fun, (np.ones(4),), emitter="llvm")
+
+
+def test_clear_plan_cache_resets_emitter_stats():
+    fc = _sum_kernel()
+    fc(np.ones(4), backend="codegen")
+    assert plan_cache_stats()["emitters"]
+    clear_plan_cache()
+    assert plan_cache_stats()["emitters"] == {}
+
+
+# ---------------------------------------------------------------------------
+# REPRO_CODEGEN_DUMP
+# ---------------------------------------------------------------------------
+
+
+def test_codegen_dump_writes_generated_source(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CODEGEN_DUMP", str(tmp_path))
+    fc = _sum_kernel()
+    generic = compile_codegen(fc.fun)
+    spec = compile_codegen(fc.fun, (np.ones(4),))
+    files = sorted(os.listdir(tmp_path))
+    assert len(files) == 2
+    assert any("_generic_" in f for f in files)
+    assert any("_spec_" in f for f in files)
+    for f, plan in zip(files, (generic, spec)):
+        text = (tmp_path / f).read_text()
+        assert "def _plan_main(" in text
+        assert plan.source in text
+
+
+# ---------------------------------------------------------------------------
+# Shard chunks on codegen
+# ---------------------------------------------------------------------------
+
+
+def test_shard_chunks_run_codegen_compiled(monkeypatch):
+    monkeypatch.setenv("REPRO_SHARD_WORKERS", "2")
+    monkeypatch.setenv("REPRO_SHARD_MIN_CHUNK", "4")
+    monkeypatch.setenv("REPRO_SHARD_MAX_TASKS", "4")
+    monkeypatch.setenv("REPRO_SHARD_EMITTER", "codegen")
+
+    def f(v):
+        return rp.map(lambda x: rp.tanh(x) * 2.0, v)
+
+    fc = rp.compile(rp.trace_like(f, (np.ones(8),)))
+    clear_plan_cache()
+    xs = rng.standard_normal(11)  # chunk extents 5 and 6
+    r_shard = fc(xs, backend="shard")
+    np.testing.assert_array_equal(np.asarray(r_shard),
+                                  np.asarray(fc(xs, backend="plan")))
+    em = plan_cache_stats()["emitters"]
+    assert "codegen" in em and em["codegen"]["code_objects"] >= 1
+
+
+def test_shard_emitter_knob_rejects_unknown_values(monkeypatch):
+    monkeypatch.setenv("REPRO_SHARD_WORKERS", "2")
+    monkeypatch.setenv("REPRO_SHARD_MIN_CHUNK", "4")
+    monkeypatch.setenv("REPRO_SHARD_EMITTER", "llvm")
+
+    def f(v):
+        return rp.map(lambda x: x * 2.0, v)
+
+    fc = rp.compile(rp.trace_like(f, (np.ones(8),)))
+    with pytest.raises(ReproError, match="REPRO_SHARD_EMITTER"):
+        fc(rng.standard_normal(11), backend="shard")
