@@ -27,10 +27,12 @@ from typing import Callable, Optional
 import numpy as np
 
 import repro as rp
+from repro import obs
 from repro.apps import ba, datagen, gmm, hand, kmeans, kmeans_sparse, lstm, rsbench, xsbench
 from repro.exec.plan import plan_cache_stats
 from repro.exec.registry import get_backend
 from repro.exec.shard import shard_stats
+from repro.obs import tracing as obs_tracing
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 os.makedirs(RESULTS_DIR, exist_ok=True)
@@ -54,8 +56,15 @@ def on_bench_backend(f: Callable) -> Callable:
 def bench_row(name: str, seconds: Optional[float] = None, backend: Optional[str] = None, **extra) -> dict:
     """One machine-readable benchmark row for ``write_table(rows=...)``:
     a measurement name, the backend it ran on, its wall-clock seconds (None
-    for rows recording non-time metrics), plus free-form extra fields."""
+    for rows recording non-time metrics), plus free-form extra fields.
+
+    Timed rows additionally carry the per-phase span breakdown (``phases``:
+    lower/emit/compile/execute… seconds) and the obs-counter delta (``obs``)
+    of the most recent ``timeit`` measurement."""
     row = {"name": name, "backend": backend or BENCH_BACKEND, "seconds": seconds}
+    if seconds is not None and _LAST_MEASUREMENT is not None:
+        row.setdefault("phases", _LAST_MEASUREMENT["phases"])
+        row.setdefault("obs", _LAST_MEASUREMENT["obs"])
     row.update(extra)
     return row
 
@@ -89,13 +98,38 @@ def write_table(name: str, lines, rows=None) -> None:
     print("\n" + text)
 
 
+#: Phase/obs breakdown of the most recent ``timeit`` call (attached to the
+#: next ``bench_row`` with a ``seconds`` value; see ``last_measurement``).
+_LAST_MEASUREMENT: Optional[dict] = None
+
+
+def last_measurement() -> Optional[dict]:
+    """``{"phases": {span: {count, seconds}}, "obs": counter deltas}`` for
+    the most recent ``timeit`` measurement, or None before the first one."""
+    return _LAST_MEASUREMENT
+
+
 def timeit(f: Callable, *args, repeats: int = 3) -> float:
-    """Median wall-clock seconds of ``f(*args)``."""
+    """Median wall-clock seconds of ``f(*args)``.
+
+    Each measurement runs under span collection (``obs.tracing``), so a
+    per-phase time breakdown and the delta of every obs counter across the
+    repeats are recorded as a side effect (``last_measurement()``)."""
+    global _LAST_MEASUREMENT
     ts = []
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        f(*args)
-        ts.append(time.perf_counter() - t0)
+    with obs_tracing.collecting():
+        p0 = obs_tracing.phase_totals()
+        s0 = obs.snapshot()
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            f(*args)
+            ts.append(time.perf_counter() - t0)
+        p1 = obs_tracing.phase_totals()
+        s1 = obs.snapshot()
+    _LAST_MEASUREMENT = {
+        "phases": obs.delta(p0, p1),
+        "obs": obs.delta(s0, s1),
+    }
     return float(np.median(ts))
 
 

@@ -13,13 +13,13 @@ workloads can be grown toward the paper's sizes on faster machines.
 """
 from __future__ import annotations
 
-import time
-from typing import Callable, List
+from typing import Callable
 
 import numpy as np
 
 import repro as rp
 from ..baselines import eager as eg
+from ..obs import tracing as _obs_tracing
 from . import datagen, gmm, kmeans, lstm, rsbench, xsbench
 
 __all__ = ["table1_gmm", "table2", "table3", "ablation_dce", "timeit"]
@@ -28,9 +28,9 @@ __all__ = ["table1_gmm", "table2", "table3", "ablation_dce", "timeit"]
 def timeit(f: Callable, repeats: int = 3) -> float:
     ts = []
     for _ in range(repeats):
-        t0 = time.perf_counter()
-        f()
-        ts.append(time.perf_counter() - t0)
+        with _obs_tracing.timed("bench:call", cat="bench") as tm:
+            f()
+        ts.append(tm.seconds)
     return float(np.median(ts))
 
 

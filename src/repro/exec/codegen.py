@@ -44,7 +44,6 @@ Set ``REPRO_CODEGEN_DUMP=<dir>`` to write every generated source file to
 from __future__ import annotations
 
 import os
-import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -52,6 +51,7 @@ import numpy as np
 from ..ir.analysis import StaticInfo, infer_static_shapes, ir_hash
 from ..ir.ast import Fun
 from ..ir.types import np_dtype
+from ..obs import tracing as _obs_tracing
 from ..util import ExecError, env_capacity
 from . import values as _values
 from .lower import IntRef, PlanIR, Ref, check_spec_sig, lower_fun, spec_signature
@@ -966,25 +966,24 @@ class CodegenPlan:
         spec_sig: Optional[tuple] = None,
         ir: Optional[PlanIR] = None,
     ) -> None:
-        t0 = time.perf_counter()
-        if ir is None:
-            ir = lower_fun(fun, static)
-        self.fun = fun
-        self.specialized = ir.specialized
-        self.spec_sig = spec_sig
-        self.param_slots = ir.param_slots
-        self.param_types = ir.param_types
-        self.nslots = ir.nslots
-        self.fused_stms = ir.fused
-        self.spec_folds = ir.folds
-        em = _SrcEmitter()
-        src, ns = em.render(ir)
-        self.source = src
-        t1 = time.perf_counter()
-        code = compile(src, f"<codegen:{fun.name}>", "exec")
-        exec(code, ns)
-        self._fn = ns["_plan_main"]
-        t2 = time.perf_counter()
+        with _obs_tracing.timed("emit", cat="compile", fun=fun.name, emitter="codegen") as tem:
+            if ir is None:
+                ir = lower_fun(fun, static)
+            self.fun = fun
+            self.specialized = ir.specialized
+            self.spec_sig = spec_sig
+            self.param_slots = ir.param_slots
+            self.param_types = ir.param_types
+            self.nslots = ir.nslots
+            self.fused_stms = ir.fused
+            self.spec_folds = ir.folds
+            em = _SrcEmitter()
+            src, ns = em.render(ir)
+            self.source = src
+        with _obs_tracing.timed("compile", cat="compile", fun=fun.name, emitter="codegen") as tcc:
+            code = compile(src, f"<codegen:{fun.name}>", "exec")
+            exec(code, ns)
+            self._fn = ns["_plan_main"]
         _maybe_dump(fun, self.specialized, src)
         with _LOCK:
             PLAN_STATS["fused_stms"] += ir.fused
@@ -995,10 +994,10 @@ class CodegenPlan:
                  "source_bytes": 0, "compile_s": 0.0},
             )
             st["plans"] += 1
-            st["emit_s"] += t1 - t0
+            st["emit_s"] += tem.seconds
             st["code_objects"] += 1
             st["source_bytes"] += len(src)
-            st["compile_s"] += t2 - t1
+            st["compile_s"] += tcc.seconds
 
     def __repr__(self) -> str:
         kind = "specialized " if self.specialized else ""
@@ -1018,20 +1017,21 @@ class CodegenPlan:
                 f"got {len(args)}"
             )
         self._check_spec_sig(args, None)
-        eng = _Engine(0)
-        vals = [
-            BV(np.asarray(coerce_arg(a, t)), 0)
-            for a, t in zip(args, self.param_types)
-        ]
-        with np.errstate(all="ignore"):
-            res = self._fn(eng, *vals)
-        out = []
-        for r in res:
-            if isinstance(r, AccBV):
-                raise ExecError("accumulator escaped to top level")
-            d = np.asarray(r.data)
-            out.append(d if d.ndim else d[()])
-        return tuple(out)
+        with _obs_tracing.span("execute", cat="exec", fun=self.fun.name, emitter="codegen"):
+            eng = _Engine(0)
+            vals = [
+                BV(np.asarray(coerce_arg(a, t)), 0)
+                for a, t in zip(args, self.param_types)
+            ]
+            with np.errstate(all="ignore"):
+                res = self._fn(eng, *vals)
+            out = []
+            for r in res:
+                if isinstance(r, AccBV):
+                    raise ExecError("accumulator escaped to top level")
+                d = np.asarray(r.data)
+                out.append(d if d.ndim else d[()])
+            return tuple(out)
 
     def run_batched(
         self, args: Sequence[object], batched: Sequence[bool], batch_size: int
@@ -1046,30 +1046,31 @@ class CodegenPlan:
         if len(batched) != len(args):
             raise ExecError("run_batched: batched flags must match arguments")
         self._check_spec_sig(args, batched)
-        b = int(batch_size)
-        eng = _Engine(0)
-        eng.bstack.append(b)
-        vals = []
-        for a, t, flag in zip(args, self.param_types, batched):
-            if flag:
-                arr = np.asarray(a)
-                if arr.ndim == 0 or arr.shape[0] != b:
-                    raise ExecError(
-                        f"batched argument: leading axis {arr.shape[:1]} does "
-                        f"not match batch size {b}"
-                    )
-                vals.append(BV(np.ascontiguousarray(arr, dtype=np_dtype(t)), 1))
-            else:
-                vals.append(BV(np.asarray(coerce_arg(a, t)), 0))
-        with np.errstate(all="ignore"):
-            res = self._fn(eng, *vals)
-        out = []
-        for r in res:
-            if isinstance(r, AccBV):
-                raise ExecError("accumulator escaped to top level")
-            d = _expand(r, 1)
-            out.append(np.ascontiguousarray(np.broadcast_to(d, (b,) + d.shape[1:])))
-        return tuple(out)
+        with _obs_tracing.span("execute", cat="exec", fun=self.fun.name, emitter="codegen", batched=True):
+            b = int(batch_size)
+            eng = _Engine(0)
+            eng.bstack.append(b)
+            vals = []
+            for a, t, flag in zip(args, self.param_types, batched):
+                if flag:
+                    arr = np.asarray(a)
+                    if arr.ndim == 0 or arr.shape[0] != b:
+                        raise ExecError(
+                            f"batched argument: leading axis {arr.shape[:1]} does "
+                            f"not match batch size {b}"
+                        )
+                    vals.append(BV(np.ascontiguousarray(arr, dtype=np_dtype(t)), 1))
+                else:
+                    vals.append(BV(np.asarray(coerce_arg(a, t)), 0))
+            with np.errstate(all="ignore"):
+                res = self._fn(eng, *vals)
+            out = []
+            for r in res:
+                if isinstance(r, AccBV):
+                    raise ExecError("accumulator escaped to top level")
+                d = _expand(r, 1)
+                out.append(np.ascontiguousarray(np.broadcast_to(d, (b,) + d.shape[1:])))
+            return tuple(out)
 
 
 from .values import coerce_arg  # noqa: E402  (placed after class for clarity)

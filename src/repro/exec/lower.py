@@ -76,6 +76,7 @@ from ..ir.ast import (
 )
 from ..ir.traversal import free_vars_exp
 from ..ir.types import np_dtype
+from ..obs import tracing as _tracing
 from ..util import ExecError
 from .vector import BV, _ne_is_identity
 
@@ -174,6 +175,11 @@ class PBody:
 
 class _Instr:
     kind = "?"
+    #: Source provenance: the ``ir.Stm``s this instruction executes, set by
+    #: ``_Lowerer.lower_body`` on top-level instructions.  The profile
+    #: emitter (``obs/profiler.py``) keys its per-instruction timings to
+    #: these statements; everything else ignores them.
+    prov: tuple = ()
 
 
 class IRun(_Instr):
@@ -488,11 +494,15 @@ class _Lowerer:
         while i < n:
             j = span_at.get(i)
             if j is not None:
-                instrs.append(self._lower_run(stms[i:j], used_after_at[j]))
+                ins = self._lower_run(stms[i:j], used_after_at[j])
+                ins.prov = tuple(stms[i:j])
+                instrs.append(ins)
                 self.fused += j - i
                 i = j
                 continue
-            instrs.append(self._lower_stm(stms[i]))
+            ins = self._lower_stm(stms[i])
+            ins.prov = (stms[i],)
+            instrs.append(ins)
             i += 1
         return PBody(tuple(instrs), self.refs(body.result))
 
@@ -710,12 +720,13 @@ class _Lowerer:
 def lower_fun(fun: Fun, static: Optional[StaticInfo] = None) -> PlanIR:
     """Lower ``fun`` to plan IR — shape-generic with ``static=None``, else
     specialised to the signature's static facts (bitwise-equal results)."""
-    lo = _Lowerer(static)
-    param_slots = tuple(lo.slot(p.name) for p in fun.params)
-    param_types = tuple(p.type for p in fun.params)
-    body = lo.lower_body(fun.body)
-    return PlanIR(fun, param_slots, param_types, body, len(lo.slots),
-                  lo.fused, lo.folds, static is not None)
+    with _tracing.span("lower", cat="compile", fun=fun.name, specialized=static is not None):
+        lo = _Lowerer(static)
+        param_slots = tuple(lo.slot(p.name) for p in fun.params)
+        param_types = tuple(p.type for p in fun.params)
+        body = lo.lower_body(fun.body)
+        return PlanIR(fun, param_slots, param_types, body, len(lo.slots),
+                      lo.fused, lo.folds, static is not None)
 
 
 def spec_signature(args: Sequence[object], batched=None):

@@ -78,7 +78,6 @@ from __future__ import annotations
 
 import os
 import threading
-import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -86,6 +85,7 @@ import numpy as np
 from ..ir.analysis import StaticInfo, infer_static_shapes, ir_hash
 from ..ir.ast import Fun
 from ..ir.types import np_dtype
+from ..obs import metrics as _obs_metrics, tracing as _obs_tracing
 from ..util import BoundedLRU, ExecError, env_capacity
 from . import values as _values
 from .lower import (
@@ -128,7 +128,11 @@ __all__ = [
     "EMITTER_STATS",
     "plan_cache_stats",
     "clear_plan_cache",
+    "reset_plan_cache_stats",
+    "profile_enabled",
 ]
+
+_span = _obs_tracing.span
 
 
 # ---------------------------------------------------------------------------
@@ -1021,6 +1025,10 @@ class Plan:
     are bitwise identical either way.
     """
 
+    #: ``EMITTER_STATS`` bucket and span label; subclasses (the profile
+    #: emitter) override it so their constructions are attributed apart.
+    emitter_name = "plan"
+
     def __init__(
         self,
         fun: Fun,
@@ -1028,31 +1036,32 @@ class Plan:
         spec_sig: Optional[tuple] = None,
         ir: Optional[PlanIR] = None,
     ) -> None:
-        t0 = time.perf_counter()
-        if ir is None:
-            ir = lower_fun(fun, static)
-        self.fun = fun
-        self.specialized = ir.specialized
-        #: ``(payload shapes, batched flags)`` the specialised lowering is
-        #: valid for; ``run``/``run_batched`` enforce it — folded constants
-        #: silently produce wrong numbers on any other signature.
-        self.spec_sig = spec_sig
-        em = _ClosureEmitter()
-        self.param_slots = ir.param_slots
-        self.param_types = ir.param_types
-        self.code = em.emit_body(ir.body)
-        self.nslots = ir.nslots
-        #: Statements collapsed into fused scalar-run closures (recursive).
-        self.fused_stms = ir.fused
-        #: Compile-time folds performed by the specialised lowering.
-        self.spec_folds = ir.folds
-        dt = time.perf_counter() - t0
+        with _obs_tracing.timed(
+            "emit", cat="compile", fun=fun.name, emitter=self.emitter_name
+        ) as tm:
+            if ir is None:
+                ir = lower_fun(fun, static)
+            self.fun = fun
+            self.specialized = ir.specialized
+            #: ``(payload shapes, batched flags)`` the specialised lowering is
+            #: valid for; ``run``/``run_batched`` enforce it — folded constants
+            #: silently produce wrong numbers on any other signature.
+            self.spec_sig = spec_sig
+            em = _ClosureEmitter()
+            self.param_slots = ir.param_slots
+            self.param_types = ir.param_types
+            self.code = em.emit_body(ir.body)
+            self.nslots = ir.nslots
+            #: Statements collapsed into fused scalar-run closures (recursive).
+            self.fused_stms = ir.fused
+            #: Compile-time folds performed by the specialised lowering.
+            self.spec_folds = ir.folds
         with _LOCK:
             PLAN_STATS["fused_stms"] += ir.fused
             PLAN_STATS["spec_folds"] += ir.folds
-            st = EMITTER_STATS.setdefault("plan", {"plans": 0, "emit_s": 0.0})
+            st = EMITTER_STATS.setdefault(self.emitter_name, {"plans": 0, "emit_s": 0.0})
             st["plans"] += 1
-            st["emit_s"] += dt
+            st["emit_s"] += tm.seconds
 
     def __repr__(self) -> str:
         kind = "specialized " if self.specialized else ""
@@ -1072,19 +1081,20 @@ class Plan:
                 f"got {len(args)}"
             )
         self._check_spec_sig(args, None)
-        eng = _Engine(self.nslots)
-        regs = eng.regs
-        for s, a, t in zip(self.param_slots, args, self.param_types):
-            regs[s] = BV(np.asarray(coerce_arg(a, t)), 0)
-        with np.errstate(all="ignore"):
-            res = _run_body(eng, self.code)
-        out = []
-        for r in res:
-            if isinstance(r, AccBV):
-                raise ExecError("accumulator escaped to top level")
-            d = np.asarray(r.data)
-            out.append(d if d.ndim else d[()])
-        return tuple(out)
+        with _span("execute", cat="exec", fun=self.fun.name, emitter=self.emitter_name):
+            eng = _Engine(self.nslots)
+            regs = eng.regs
+            for s, a, t in zip(self.param_slots, args, self.param_types):
+                regs[s] = BV(np.asarray(coerce_arg(a, t)), 0)
+            with np.errstate(all="ignore"):
+                res = _run_body(eng, self.code)
+            out = []
+            for r in res:
+                if isinstance(r, AccBV):
+                    raise ExecError("accumulator escaped to top level")
+                d = np.asarray(r.data)
+                out.append(d if d.ndim else d[()])
+            return tuple(out)
 
     def run_batched(
         self, args: Sequence[object], batched: Sequence[bool], batch_size: int
@@ -1104,30 +1114,31 @@ class Plan:
         if len(batched) != len(args):
             raise ExecError("run_batched: batched flags must match arguments")
         self._check_spec_sig(args, batched)
-        b = int(batch_size)
-        eng = _Engine(self.nslots)
-        eng.bstack.append(b)
-        regs = eng.regs
-        for s, a, t, flag in zip(self.param_slots, args, self.param_types, batched):
-            if flag:
-                arr = np.asarray(a)
-                if arr.ndim == 0 or arr.shape[0] != b:
-                    raise ExecError(
-                        f"batched argument: leading axis {arr.shape[:1]} does "
-                        f"not match batch size {b}"
-                    )
-                regs[s] = BV(np.ascontiguousarray(arr, dtype=np_dtype(t)), 1)
-            else:
-                regs[s] = BV(np.asarray(coerce_arg(a, t)), 0)
-        with np.errstate(all="ignore"):
-            res = _run_body(eng, self.code)
-        out = []
-        for r in res:
-            if isinstance(r, AccBV):
-                raise ExecError("accumulator escaped to top level")
-            d = _expand(r, 1)
-            out.append(np.ascontiguousarray(np.broadcast_to(d, (b,) + d.shape[1:])))
-        return tuple(out)
+        with _span("execute", cat="exec", fun=self.fun.name, emitter=self.emitter_name, batched=True):
+            b = int(batch_size)
+            eng = _Engine(self.nslots)
+            eng.bstack.append(b)
+            regs = eng.regs
+            for s, a, t, flag in zip(self.param_slots, args, self.param_types, batched):
+                if flag:
+                    arr = np.asarray(a)
+                    if arr.ndim == 0 or arr.shape[0] != b:
+                        raise ExecError(
+                            f"batched argument: leading axis {arr.shape[:1]} does "
+                            f"not match batch size {b}"
+                        )
+                    regs[s] = BV(np.ascontiguousarray(arr, dtype=np_dtype(t)), 1)
+                else:
+                    regs[s] = BV(np.asarray(coerce_arg(a, t)), 0)
+            with np.errstate(all="ignore"):
+                res = _run_body(eng, self.code)
+            out = []
+            for r in res:
+                if isinstance(r, AccBV):
+                    raise ExecError("accumulator escaped to top level")
+                d = _expand(r, 1)
+                out.append(np.ascontiguousarray(np.broadcast_to(d, (b,) + d.shape[1:])))
+            return tuple(out)
 
 
 def compile_plan(
@@ -1191,11 +1202,24 @@ def _resolve_emitter(name: str) -> Callable:
         from . import codegen  # noqa: F401  (registers itself on import)
 
         build = _EMITTERS.get(name)
+    if build is None and name == "profile":
+        from ..obs import profiler  # noqa: F401  (registers itself on import)
+
+        build = _EMITTERS.get(name)
     if build is None:
         raise ExecError(
             f"unknown plan emitter {name!r} (have {sorted(_EMITTERS)})"
         )
     return build
+
+
+def profile_enabled() -> bool:
+    """Whether ``REPRO_PROFILE`` routes default plan-backend executions
+    through the per-instruction ``"profile"`` emitter.  Any non-falsy
+    value enables it; a value with a path separator or ``.json`` suffix
+    is additionally the report file written at interpreter exit (see
+    ``obs/profiler.py``)."""
+    return os.environ.get("REPRO_PROFILE", "").lower() not in ("", "0", "off", "false", "no")
 
 
 def _specialized_build(
@@ -1222,15 +1246,18 @@ def _specialized_build(
 #: tier-2 lowerings, ``evictions`` LRU drops across both tiers,
 #: ``fused_stms`` scalar statements collapsed into fused run closures, and
 #: ``spec_folds`` compile-time folds performed by specialised lowerings.
-PLAN_STATS = {
-    "hits": 0,
-    "misses": 0,
-    "specialized_hits": 0,
-    "promotions": 0,
-    "evictions": 0,
-    "fused_stms": 0,
-    "spec_folds": 0,
-}
+PLAN_STATS = _obs_metrics.counter_group(
+    "plan_cache",
+    {
+        "hits": 0,
+        "misses": 0,
+        "specialized_hits": 0,
+        "promotions": 0,
+        "evictions": 0,
+        "fused_stms": 0,
+        "spec_folds": 0,
+    },
+)
 
 #: Per-emitter construction counters (``plans`` built, ``emit_s`` wall-clock
 #: spent lowering+emitting; the codegen emitter adds ``code_objects``,
@@ -1356,7 +1383,12 @@ def plan_for(
     once, not once per racing thread).
     """
     if emitter is None:
-        emitter = "codegen" if backend == "codegen" else "plan"
+        if backend == "codegen":
+            emitter = "codegen"
+        elif profile_enabled():
+            emitter = "profile"
+        else:
+            emitter = "plan"
     build = _resolve_emitter(emitter)
     flags = tuple(batched) if batched is not None else None
     base = (ir_hash(fun), backend, emitter, flags)
@@ -1386,7 +1418,8 @@ def plan_for(
                 n, thr = 1, _promo_threshold(fun, args, batched)
             _PROMO.put(skey, (n, thr), cap * 8 if cap > 0 else 0)
             if thr is not None and n >= thr:
-                sp = _specialized_build(build, fun, args, batched)
+                with _span("promote", cat="compile", fun=fun.name, emitter=emitter):
+                    sp = _specialized_build(build, fun, args, batched)
                 PLAN_STATS["promotions"] += 1
                 PLAN_STATS["evictions"] += _SPECIAL.put(skey, sp, cap)
                 return sp
@@ -1407,14 +1440,30 @@ def plan_cache_stats() -> Dict[str, object]:
 
 
 def clear_plan_cache() -> None:
-    """Drop every cached plan (both tiers) and reset all counters."""
+    """Drop every cached plan (both tiers) and reset all counters.
+
+    This clears ``EMITTER_STATS`` too — the per-emitter construction
+    totals describe the plans being dropped, so they go with them.  To
+    zero the counters while *keeping* cached plans, use
+    ``reset_plan_cache_stats``.
+    """
     with _LOCK:
         _GENERIC.clear()
         _SPECIAL.clear()
         _PROMO.clear()
-        for k in PLAN_STATS:
-            PLAN_STATS[k] = 0
+        reset_plan_cache_stats()
+
+
+def reset_plan_cache_stats() -> None:
+    """Zero ``PLAN_STATS`` and ``EMITTER_STATS`` without dropping cached
+    plans — the ``reset_*`` counterpart of the other stats surfaces,
+    registered with ``obs.reset_all()``."""
+    with _LOCK:
+        PLAN_STATS.reset()
         EMITTER_STATS.clear()
+
+
+_obs_metrics.register_source("plan_cache", plan_cache_stats, reset_plan_cache_stats)
 
 
 def run_fun_plan(fun: Fun, args: Sequence[object]) -> Tuple[object, ...]:

@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from ..ir.ast import Fun
+from ..obs import metrics as _obs_metrics
 from ..util import ReproError
 
 __all__ = [
@@ -45,8 +46,18 @@ __all__ = [
     "default_backend",
     "available_backends",
     "batched_backends",
+    "record_call",
     "DEFAULT_BACKEND",
 ]
+
+#: Per-backend dispatch counters (``repro.obs`` section ``"backend_calls"``):
+#: one count per top-level ``Compiled`` call routed to each backend name.
+BACKEND_CALLS = _obs_metrics.counter_group("backend_calls", {})
+
+
+def record_call(name: str) -> None:
+    """Count one top-level dispatch to backend ``name``."""
+    BACKEND_CALLS[name] = BACKEND_CALLS.get(name, 0) + 1
 
 #: Fallback default when ``REPRO_BACKEND`` is unset: the plan compiler —
 #: the paper's compiled-bulk-code executor, and with the two-tier cache the

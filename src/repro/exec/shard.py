@@ -89,8 +89,9 @@ import numpy as np
 from ..ir.analysis import ShardSplit, shard_split
 from ..ir.ast import Fun
 from ..ir.cost_model import soac_elem_cost, task_grain
+from ..obs import metrics as _obs_metrics, tracing as _obs_tracing
 from ..util import BoundedLRU, ReproError, env_capacity
-from .plan import Plan, plan_for, run_fun_plan, run_fun_plan_batched
+from .plan import Plan, plan_for, profile_enabled, run_fun_plan, run_fun_plan_batched
 from .vector import _UFUNC
 
 __all__ = [
@@ -155,9 +156,11 @@ def _chunk_emitter() -> str:
 
     ``REPRO_SHARD_EMITTER`` picks explicitly (``plan`` or ``codegen``);
     unset, chunks follow the session default — codegen-compiled when the
-    session backend is ``codegen``, closure plans otherwise.  Process-mode
-    workers always build closure ``Plan``s on their side (code objects do
-    not pickle), so the knob only affects the thread path.
+    session backend is ``codegen``, profile-instrumented when
+    ``REPRO_PROFILE`` is on (so sharded execute time stays attributed),
+    closure plans otherwise.  Process-mode workers always build closure
+    ``Plan``s on their side (code objects do not pickle), so the knob only
+    affects the thread path.
     """
     em = os.environ.get("REPRO_SHARD_EMITTER")
     if em is not None:
@@ -166,7 +169,9 @@ def _chunk_emitter() -> str:
                 f"REPRO_SHARD_EMITTER={em!r}: expected 'plan' or 'codegen'"
             )
         return em
-    return "codegen" if os.environ.get("REPRO_BACKEND") == "codegen" else "plan"
+    if os.environ.get("REPRO_BACKEND") == "codegen":
+        return "codegen"
+    return "profile" if profile_enabled() else "plan"
 
 
 # ---------------------------------------------------------------------------
@@ -176,14 +181,19 @@ def _chunk_emitter() -> str:
 #: Counters mirroring ``plan_cache_stats``: sharded/batched/fallback call
 #: counts, total dispatched chunks, pool (re)builds and infrastructure
 #: failures.  ``shard_stats()`` adds the live worker/mode configuration.
-SHARD_STATS = {
-    "sharded_calls": 0,
-    "batched_calls": 0,
-    "fallback_calls": 0,
-    "chunks": 0,
-    "pool_builds": 0,
-    "pool_errors": 0,
-}
+SHARD_STATS = _obs_metrics.counter_group(
+    "shard",
+    {
+        "sharded_calls": 0,
+        "batched_calls": 0,
+        "fallback_calls": 0,
+        "chunks": 0,
+        "pool_builds": 0,
+        "pool_errors": 0,
+    },
+)
+
+_span = _obs_tracing.span
 
 
 def shard_stats() -> Dict[str, object]:
@@ -200,9 +210,11 @@ def reset_shard_stats() -> None:
     """Zero every counter (configuration values are env-derived, untouched)
     and re-arm process mode after a sticky pool failure."""
     global _PROCESS_BROKEN
-    for k in SHARD_STATS:
-        SHARD_STATS[k] = 0
+    SHARD_STATS.reset()
     _PROCESS_BROKEN = False
+
+
+_obs_metrics.register_source("shard", shard_stats, reset_shard_stats)
 
 
 # ---------------------------------------------------------------------------
@@ -485,6 +497,18 @@ def _decode_result(spec):
     return out
 
 
+def _shm_spec_bytes(specs) -> int:
+    """Shared-memory bytes a chunk's wire specs reference (the shipped
+    volume; broadcast segments are deduplicated across chunks by
+    ``_encode_arg`` but each chunk still maps and reads them)."""
+    total = 0
+    for s in specs:
+        if s[0] == "shm":
+            _, _, shape, dtype = s
+            total += int(np.prod(shape, dtype=np.int64)) * np.dtype(dtype).itemsize
+    return total
+
+
 def _dispatch_process(
     fun: Fun,
     token: str,
@@ -492,25 +516,40 @@ def _dispatch_process(
     batched,
     batch_ns,
     workers: int,
+    bounds=None,
 ):
     pool = _get_pool("process", workers)
     fun_bytes = pickle.dumps(fun)
     memo: dict = {}
     holds: list = []
     try:
-        futs = [
-            pool.submit(
-                _process_task,
-                (
-                    token,
-                    fun_bytes,
-                    [_encode_arg(a, memo, holds) for a in args],
-                    batched,
-                    batch_ns[i] if batch_ns is not None else None,
-                ),
-            )
-            for i, args in enumerate(arg_lists)
-        ]
+        futs = []
+        for i, args in enumerate(arg_lists):
+            specs = [_encode_arg(a, memo, holds) for a in args]
+            # The span covers encode+submit (worker compute is not
+            # parent-visible); its payload — chunk extent and shm bytes
+            # shipped — is what chunk-placement analysis needs.
+            with _span(
+                "shard:chunk",
+                cat="shard",
+                fun=fun.name,
+                mode="process",
+                chunk=i,
+                extent=(bounds[i][1] - bounds[i][0]) if bounds is not None else None,
+                bytes=_shm_spec_bytes(specs),
+            ):
+                futs.append(
+                    pool.submit(
+                        _process_task,
+                        (
+                            token,
+                            fun_bytes,
+                            specs,
+                            batched,
+                            batch_ns[i] if batch_ns is not None else None,
+                        ),
+                    )
+                )
         results = []
         err = None
         for f in futs:
@@ -548,6 +587,7 @@ def _dispatch(
     arg_lists: Sequence[Sequence[object]],
     batched=None,
     batch_ns=None,
+    bounds=None,
 ) -> List[Tuple[object, ...]]:
     """Run ``fun`` over every chunk argument list, in order.
 
@@ -566,7 +606,8 @@ def _dispatch(
     if shard_mode() == "process" and not _PROCESS_BROKEN:
         try:
             return _dispatch_process(
-                fun, _token_for(fun), arg_lists, batched, batch_ns, workers
+                fun, _token_for(fun), arg_lists, batched, batch_ns, workers,
+                bounds=bounds,
             )
         except (
             BrokenExecutor,
@@ -586,26 +627,38 @@ def _dispatch(
 
     emitter = _chunk_emitter()
 
-    def run_chunk(args, bn=None):
-        plan = plan_for(fun, args, batched, backend="shard", emitter=emitter)
-        if batched is None:
-            return plan.run(args)
-        return plan.run_batched(args, batched, bn)
+    def run_chunk(i, args, bn=None):
+        extent = bounds[i][1] - bounds[i][0] if bounds is not None else bn
+        # Runs on the pool worker, so the span's tid/worker name attribute
+        # the chunk to the thread that actually executed it.
+        with _span(
+            "shard:chunk",
+            cat="shard",
+            fun=fun.name,
+            mode="thread",
+            chunk=i,
+            extent=extent,
+            worker=threading.current_thread().name,
+        ):
+            plan = plan_for(fun, args, batched, backend="shard", emitter=emitter)
+            if batched is None:
+                return plan.run(args)
+            return plan.run_batched(args, batched, bn)
 
     def serially():
         if batched is None:
-            return [run_chunk(args) for args in arg_lists]
-        return [run_chunk(args, batch_ns[i]) for i, args in enumerate(arg_lists)]
+            return [run_chunk(i, args) for i, args in enumerate(arg_lists)]
+        return [run_chunk(i, args, batch_ns[i]) for i, args in enumerate(arg_lists)]
 
     if workers <= 1 or len(arg_lists) <= 1:
         return serially()
     try:
         pool = _get_pool("thread", workers)
         if batched is None:
-            futs = [pool.submit(run_chunk, args) for args in arg_lists]
+            futs = [pool.submit(run_chunk, i, args) for i, args in enumerate(arg_lists)]
         else:
             futs = [
-                pool.submit(run_chunk, args, batch_ns[i])
+                pool.submit(run_chunk, i, args, batch_ns[i])
                 for i, args in enumerate(arg_lists)
             ]
     except RuntimeError:
@@ -655,7 +708,7 @@ def run_fun_shard(fun: Fun, args: Sequence[object]) -> Tuple[object, ...]:
     bounds = _chunk_bounds(n, elem_cost)
     bcast = [pre[i] for i in split.chunk_broadcast]
     arg_lists = [[v[lo:hi] for v in shard_vals] + bcast for lo, hi in bounds]
-    outs = _dispatch(split.chunk_fun, arg_lists)
+    outs = _dispatch(split.chunk_fun, arg_lists, bounds=bounds)
     if split.kind == "map":
         combined = [
             np.concatenate([np.asarray(o[i]) for o in outs], axis=0)
@@ -706,7 +759,7 @@ def run_fun_shard_batched(
         for lo, hi in bounds
     ]
     batch_ns = [hi - lo for lo, hi in bounds]
-    outs = _dispatch(fun, arg_lists, batched=batched, batch_ns=batch_ns)
+    outs = _dispatch(fun, arg_lists, batched=batched, batch_ns=batch_ns, bounds=bounds)
     SHARD_STATS["batched_calls"] += 1
     return tuple(
         np.concatenate([np.asarray(o[i]) for o in outs], axis=0)

@@ -39,9 +39,11 @@ from ..exec.registry import (
     batched_backends,
     default_backend,
     get_backend,
+    record_call,
 )
 from ..ir.ast import Fun
 from ..ir.pretty import pretty
+from ..obs import tracing as _obs_tracing
 from ..util import ReproError
 
 __all__ = ["Compiled", "compile_fun", "BACKENDS", "BATCHED_BACKENDS"]
@@ -100,7 +102,10 @@ class Compiled:
         return pretty(self.fun)
 
     def __call__(self, *args, backend: "str | None" = None):
-        res = get_backend(backend or default_backend()).run(self.fun, args)
+        name = backend or default_backend()
+        record_call(name)
+        with _obs_tracing.span("call", cat="api", fun=self.fun.name, backend=name):
+            res = get_backend(name).run(self.fun, args)
         return res[0] if len(res) == 1 else res
 
     def call_batched(
@@ -123,7 +128,11 @@ class Compiled:
                 f"backend {name!r} cannot run batched seeds; "
                 f"choose from {batched_backends()}"
             )
-        return be.run_batched(self.fun, args, batched, batch_size)
+        record_call(name)
+        with _obs_tracing.span(
+            "call", cat="api", fun=self.fun.name, backend=name, batched=True
+        ):
+            return be.run_batched(self.fun, args, batched, batch_size)
 
     def cost(self, *args) -> Cost:
         """Run under the cost model; returns work/span/memory counters."""

@@ -33,6 +33,7 @@ from ..ir.types import (
     rank_of,
     with_rank,
 )
+from ..obs import tracing as _obs_tracing
 from ..util import IRError, fresh
 
 __all__ = ["TVal", "trace", "trace_like", "cur_builder", "lift", "scope", "arg_types_of"]
@@ -285,15 +286,16 @@ def trace(
         while len(arg_names) < len(in_types):
             arg_names.append(f"arg{len(arg_names)}")
     params = tuple(Var(fresh(n), t) for n, t in zip(arg_names, in_types))
-    with scope() as b:
-        out = f(*[TVal(p) for p in params])
-        if out is None:
-            raise IRError(f"{name}: traced function returned None")
-        outs = out if isinstance(out, (tuple, list)) else (out,)
-        result = tuple(lift(o).atom for o in outs)
-        body = b.finish(result)
-    fun = Fun(name, params, body)
-    check_fun(fun)
+    with _obs_tracing.span("trace", cat="compile", fun=name):
+        with scope() as b:
+            out = f(*[TVal(p) for p in params])
+            if out is None:
+                raise IRError(f"{name}: traced function returned None")
+            outs = out if isinstance(out, (tuple, list)) else (out,)
+            result = tuple(lift(o).atom for o in outs)
+            body = b.finish(result)
+        fun = Fun(name, params, body)
+        check_fun(fun)
     return fun
 
 

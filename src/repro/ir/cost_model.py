@@ -86,6 +86,7 @@ __all__ = [
     "CostModel",
     "estimate_fun",
     "estimate_stm",
+    "estimate_stms",
     "estimate_exp",
     "soac_estimates",
     "stm_work",
@@ -439,6 +440,18 @@ def estimate_fun(
 def estimate_stm(stm: Stm, model: Optional[CostModel] = None) -> Estimate:
     """Estimate one statement (a fresh shape-agnostic model by default)."""
     return (model or CostModel()).stm(stm)
+
+
+def estimate_stms(stms: Sequence[Stm], model: Optional[CostModel] = None) -> Estimate:
+    """The summed estimate of a statement group — one fused run's worth of
+    source statements, as recorded in plan-IR instruction provenance.  The
+    profile emitter (``obs/profiler.py``) ranks these against measured
+    per-instruction wall-clock."""
+    m = model or CostModel()
+    est = ZERO
+    for s in stms:
+        est = est + m.stm(s)
+    return est
 
 
 def estimate_exp(e: Exp, pat: Sequence[Var] = (), model: Optional[CostModel] = None) -> Estimate:

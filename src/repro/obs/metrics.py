@@ -1,0 +1,198 @@
+"""One metrics registry for the whole pipeline.
+
+Before this module existed the repo had four stats surfaces with four
+lifecycles: ``plan_cache_stats``/``clear_plan_cache`` (exec/plan),
+``shard_stats``/``reset_shard_stats`` (exec/shard), ``opt_stats``/
+``reset_opt_stats`` (opt/pipeline) and ``fusion_stats``/
+``reset_fusion_stats`` (opt/fusion).  Each module now *re-homes* its
+counters here, in one of two ways:
+
+* ``counter_group(name, initial)`` returns a ``CounterGroup`` — a plain
+  ``dict`` subclass, so existing ``STATS["hits"] += 1`` call sites keep
+  working unchanged — that the registry owns: it appears in
+  ``snapshot()`` and is zeroed by ``reset_all()``.
+* ``register_source(name, snapshot_fn, reset_fn)`` overrides (or adds)
+  the snapshot/reset pair for a section, for surfaces whose view is
+  richer than their raw counters (e.g. ``plan_cache_stats`` adds cache
+  entry counts and emitter aggregates).
+
+On top of that the registry offers free-standing *labelled* counters,
+gauges and timers (``inc``/``set_gauge``/``observe``/``timer``) for
+instrumentation that has no module-level dict of its own.
+
+``snapshot()`` returns one nested dict covering everything;
+``delta(before, after)`` subtracts two snapshots recursively so tests
+and benchmarks can attribute what a measured region changed.
+"""
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "CounterGroup",
+    "counter_group",
+    "register_source",
+    "inc",
+    "set_gauge",
+    "observe",
+    "timer",
+    "snapshot",
+    "reset_all",
+    "delta",
+]
+
+_LOCK = threading.RLock()
+
+_LabelKey = Tuple[str, Tuple[Tuple[str, Any], ...]]
+
+
+class CounterGroup(dict):
+    """A named group of counters owned by the registry.
+
+    It is a ``dict`` so the modules that own the counters mutate it
+    directly (``SHARD_STATS["chunks"] += 1``); the registry only needs
+    to know how to read and reset it.
+    """
+
+    def __init__(self, name: str, initial: Dict[str, Any]):
+        super().__init__(initial)
+        self.name = name
+        self._initial = dict(initial)
+
+    def reset(self) -> None:
+        for k in [k for k in self if k not in self._initial]:
+            del self[k]
+        for k, v in self._initial.items():
+            self[k] = v
+
+
+# section name -> (snapshot_fn, reset_fn)
+_SECTIONS: Dict[str, Tuple[Callable[[], Any], Callable[[], None]]] = {}
+
+_COUNTERS: Dict[_LabelKey, float] = {}
+_GAUGES: Dict[_LabelKey, float] = {}
+_TIMERS: Dict[_LabelKey, List[float]] = {}  # key -> [count, seconds]
+
+
+def counter_group(name: str, initial: Dict[str, Any]) -> CounterGroup:
+    """Create (and register) a module-owned counter dict."""
+    g = CounterGroup(name, initial)
+    with _LOCK:
+        _SECTIONS.setdefault(name, (lambda g=g: dict(g), g.reset))
+    return g
+
+
+def register_source(name: str, snapshot_fn: Callable[[], Any], reset_fn: Callable[[], None]) -> None:
+    """Register (or override) the snapshot/reset pair for a section.
+
+    Modules whose public stats view is richer than a raw counter dict
+    point their existing ``*_stats()``/``reset_*()`` functions here; the
+    old functions stay callable and become the section's view.
+    """
+    with _LOCK:
+        _SECTIONS[name] = (snapshot_fn, reset_fn)
+
+
+def _key(name: str, labels: Dict[str, Any]) -> _LabelKey:
+    return (name, tuple(sorted(labels.items())))
+
+
+def _fmt(key: _LabelKey) -> str:
+    name, labels = key
+    if not labels:
+        return name
+    return name + "{" + ",".join(f"{k}={v}" for k, v in labels) + "}"
+
+
+def inc(name: str, value: float = 1, **labels: Any) -> None:
+    """Increment a labelled counter."""
+    k = _key(name, labels)
+    with _LOCK:
+        _COUNTERS[k] = _COUNTERS.get(k, 0) + value
+
+
+def set_gauge(name: str, value: float, **labels: Any) -> None:
+    """Set a labelled gauge to its latest value."""
+    with _LOCK:
+        _GAUGES[_key(name, labels)] = value
+
+
+def observe(name: str, seconds: float, **labels: Any) -> None:
+    """Record one observation into a labelled timer."""
+    k = _key(name, labels)
+    with _LOCK:
+        cell = _TIMERS.get(k)
+        if cell is None:
+            cell = _TIMERS[k] = [0, 0.0]
+        cell[0] += 1
+        cell[1] += seconds
+
+
+class _Timer:
+    __slots__ = ("name", "labels", "t0", "seconds")
+
+    def __init__(self, name: str, labels: Dict[str, Any]):
+        self.name = name
+        self.labels = labels
+        self.seconds = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self.t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        self.seconds = time.perf_counter() - self.t0
+        observe(self.name, self.seconds, **self.labels)
+        return False
+
+
+def timer(name: str, **labels: Any) -> _Timer:
+    """Context manager measuring a block into a labelled timer."""
+    return _Timer(name, labels)
+
+
+def snapshot() -> Dict[str, Any]:
+    """One nested dict covering every registered section plus the
+    free-standing labelled counters/gauges/timers."""
+    with _LOCK:
+        sections = list(_SECTIONS.items())
+        out: Dict[str, Any] = {
+            "counters": {_fmt(k): v for k, v in _COUNTERS.items()},
+            "gauges": {_fmt(k): v for k, v in _GAUGES.items()},
+            "timers": {_fmt(k): {"count": c, "seconds": s} for k, (c, s) in _TIMERS.items()},
+        }
+    # Section snapshots run outside the registry lock: they may take the
+    # owning module's lock, and the reverse ordering must stay impossible.
+    for name, (snap, _) in sections:
+        out[name] = snap()
+    return out
+
+
+def reset_all() -> None:
+    """Zero every registered section and the labelled metrics."""
+    with _LOCK:
+        sections = list(_SECTIONS.values())
+        _COUNTERS.clear()
+        _GAUGES.clear()
+        _TIMERS.clear()
+    for _, reset in sections:
+        reset()
+
+
+def delta(before: Any, after: Any) -> Any:
+    """Recursive difference of two snapshots.
+
+    Numeric leaves become ``after - before`` (missing ``before`` counts
+    as zero); non-numeric leaves keep the ``after`` value.
+    """
+    if isinstance(after, dict):
+        b = before if isinstance(before, dict) else {}
+        return {k: delta(b.get(k), v) for k, v in after.items()}
+    if isinstance(after, bool):
+        return after
+    if isinstance(after, (int, float)):
+        b = before if isinstance(before, (int, float)) and not isinstance(before, bool) else 0
+        return after - b
+    return after

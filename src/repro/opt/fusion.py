@@ -77,6 +77,7 @@ from ..ir.traversal import (
     rename_var,
 )
 from ..ir.types import rank_of, with_rank
+from ..obs import metrics as _obs_metrics
 from ..util import ADError, BoundedLRU, fresh
 
 __all__ = [
@@ -99,7 +100,9 @@ def fuse_cost_mode() -> str:
 
 #: Fusion decision counters: candidates that fused (by direction) and
 #: candidates the cost gate rejected.  Reset via ``reset_fusion_stats``.
-FUSE_STATS = {"vertical": 0, "horizontal": 0, "cost_rejected": 0}
+FUSE_STATS = _obs_metrics.counter_group(
+    "fusion", {"vertical": 0, "horizontal": 0, "cost_rejected": 0}
+)
 
 
 def fusion_stats() -> Dict[str, int]:
@@ -107,9 +110,11 @@ def fusion_stats() -> Dict[str, int]:
 
 
 def reset_fusion_stats() -> None:
-    for k in FUSE_STATS:
-        FUSE_STATS[k] = 0
+    FUSE_STATS.reset()
     _REJECTED_SEEN.clear()
+
+
+_obs_metrics.register_source("fusion", fusion_stats, reset_fusion_stats)
 
 
 #: Candidates the gate already rejected, by structural identity — the

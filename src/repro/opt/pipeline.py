@@ -56,6 +56,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from ..ir.ast import Fun
+from ..obs import metrics as _obs_metrics, tracing as _obs_tracing
 from ..util import BoundedLRU, env_capacity
 
 __all__ = [
@@ -90,7 +91,8 @@ _REGISTRY: "OrderedDict[str, Pass]" = OrderedDict()
 #: counts as converged and leaves ``changed`` untouched).
 _PASS_STATS: Dict[str, Dict[str, int]] = {}
 
-#: Memo-cache counters.
+#: Memo-cache counters (snapshot/reset through the ``"opt"`` registry
+#: section below, together with the per-pass counters).
 _CACHE_STATS = {"hits": 0, "misses": 0, "evictions": 0}
 
 # key: (id of input Fun, rounds, enabled names)
@@ -184,26 +186,28 @@ def optimize_fun(
 
     src = fun
     converged = False
-    for _ in range(rounds):
-        start = fun
-        outs = []
-        for p in active:
-            fun = p.fn(fun)
-            _PASS_STATS[p.name]["fired"] += 1
-            outs.append(fun)
-        if fun == start:
-            # Round-level fixed point: ONE deep comparison instead of one
-            # per pass — the full-tree-walk cost concentrates in unchanged
-            # trees, which is exactly the near-convergence common case.
-            converged = True
-            break
-        # The round made net progress; attribute per-pass "changed" by
-        # comparing adjacent outputs (these mostly short-circuit early).
-        prev = start
-        for p, out in zip(active, outs):
-            if out != prev:
-                _PASS_STATS[p.name]["changed"] += 1
-            prev = out
+    with _obs_tracing.span("optimize", cat="compile", fun=fun.name):
+        for _ in range(rounds):
+            start = fun
+            outs = []
+            for p in active:
+                with _obs_tracing.span(f"opt:{p.name}", cat="opt", fun=fun.name):
+                    fun = p.fn(fun)
+                _PASS_STATS[p.name]["fired"] += 1
+                outs.append(fun)
+            if fun == start:
+                # Round-level fixed point: ONE deep comparison instead of one
+                # per pass — the full-tree-walk cost concentrates in unchanged
+                # trees, which is exactly the near-convergence common case.
+                converged = True
+                break
+            # The round made net progress; attribute per-pass "changed" by
+            # comparing adjacent outputs (these mostly short-circuit early).
+            prev = start
+            for p, out in zip(active, outs):
+                if out != prev:
+                    _PASS_STATS[p.name]["changed"] += 1
+                prev = out
     if cache:
         _cache_put(key, src, fun)
         if converged and fun is not src:
@@ -237,6 +241,18 @@ def reset_opt_stats() -> None:
 def clear_opt_cache() -> None:
     """Drop all memoised optimisation results."""
     _OPT_CACHE.clear()
+
+
+def _obs_opt_snapshot() -> Dict[str, object]:
+    # The registry section excludes the nested fusion/enabled views
+    # (fusion has its own section; the enabled set is config, not a counter).
+    return {
+        "passes": {n: dict(c) for n, c in _PASS_STATS.items()},
+        "cache": {**_CACHE_STATS, "entries": len(_OPT_CACHE)},
+    }
+
+
+_obs_metrics.register_source("opt", _obs_opt_snapshot, reset_opt_stats)
 
 
 # ---------------------------------------------------------------------------
