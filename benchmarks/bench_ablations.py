@@ -1,4 +1,4 @@
-"""Ablations A1–A9 (per DESIGN.md):
+"""Ablations A1–A10 (per DESIGN.md):
 
 A1  §6.1 accumulator→reduce on the matmul adjoint (the GMM/LSTM lever);
 A2  §4.3 strip-mining time–space trade-off (checkpoint memory vs re-exec);
@@ -19,7 +19,12 @@ A9  source codegen vs the closure interpreter: the same plan IR rendered
     to one compiled Python function (backend=codegen) vs per-instruction
     closure dispatch (backend=plan) on the A8 GMM gradient and two
     dispatch-bound scalar loops — bitwise parity asserted, codegen must
-    win outright where dispatch dominates and be no slower elsewhere.
+    win outright where dispatch dominates and be no slower elsewhere;
+A10 execution schedules: the cost model's default schedule vs forced
+    REPRO_SCHEDULE overrides (all-sequential(64) on plan — bitwise parity
+    asserted — and parallel(2) on shard — allclose) on the GMM full
+    Jacobian and the LSTM scan; every row records the schedule it ran
+    under and the cost-model-chosen schedule of the dominant statement.
 """
 import os
 
@@ -27,7 +32,7 @@ import numpy as np
 import pytest
 
 import repro as rp
-from repro.apps import ba, datagen, gmm, kmeans
+from repro.apps import ba, datagen, gmm, kmeans, lstm
 from repro.core.api import vjp
 from repro.exec.cost import CostRecorder
 from repro.exec.interp import RefInterp
@@ -625,3 +630,99 @@ def test_ablation_a9_codegen(benchmark):
     # array-bound: no slower, with headroom for timing noise
     tp, tc = times["gmm_grad"]
     assert tc <= tp * 1.15, (tc, tp)
+
+
+# --- A10: execution schedules (cost-model default vs forced overrides) ----------
+
+#: GMM sizes reuse A6 (the batched-seed shard axis); the LSTM sizes keep the
+#: scan long enough that the recurrence, not setup, dominates.
+GMM_A10 = GMM_A6
+LSTM_A10 = (4, 24, 12, 16)  # bs, n, d, h
+
+
+def test_ablation_a10_schedule(benchmark, monkeypatch):
+    from repro.exec.shard import shutdown_shard_pool
+    from repro.ir.cost_model import choose_schedule, stm_work
+    from repro.ir.schedule import SCHEDULABLE, format_schedule
+
+    monkeypatch.delenv("REPRO_SCHEDULE", raising=False)
+    monkeypatch.setenv("REPRO_SHARD_WORKERS", "2")
+
+    # GMM full Jacobian w.r.t. the means: all K·d forward basis seeds
+    # stacked on a leading batch axis (the axis shard partitions).
+    n, d, K = GMM_A10
+    alphas, means, icf, x = datagen.gmm_instance(n, d, K, 0)[:4]
+    fwd = rp.jvp(rp.compile(gmm.build_ir(n, d, K)))
+    m = K * d
+    seeds = np.eye(m).reshape(m, K, d)
+    zeros = (np.zeros_like(alphas), np.zeros_like(icf), np.zeros_like(x))
+
+    def gmm_jac(fc, backend):
+        out = fc.call_batched(
+            (alphas, means, icf, x, zeros[0], seeds, zeros[1], zeros[2]),
+            (False, False, False, False, False, True, False, False),
+            m,
+            backend=backend,
+        )
+        return np.asarray(out[-1]).reshape(m)
+
+    # LSTM sequence loss: the scan-carried recurrence.
+    bs, ln, ld, lh = LSTM_A10
+    xs, wx, wh, b, wy, h0, c0, tg = datagen.lstm_instance(bs, ln, ld, lh, 0)
+    lc = rp.compile(lstm.build_ir(xs.shape[0], xs.shape[1], xs.shape[2], wh.shape[1]))
+    largs = (xs, wx, wh, b, wy, tg)
+
+    def lstm_loss(fc, backend):
+        return np.asarray(fc(*largs, backend=backend))
+
+    workloads = [
+        ("gmm_jacobian", fwd, gmm_jac),
+        ("lstm_scan", lc, lstm_loss),
+    ]
+    lines = [
+        "A10: cost-model default schedule vs forced REPRO_SCHEDULE overrides.",
+        "sequential(64) runs on plan and must be bitwise-equal to the default;",
+        "parallel(2) runs on shard at 2 pinned workers (allclose).  'chosen'",
+        "is the cost model's pick for the workload's dominant statement.",
+    ]
+    rows = []
+    for name, base, run in workloads:
+        stms = [s for s in base.fun.body.stms if isinstance(s.exp, SCHEDULABLE)]
+        chosen = "-"
+        if stms:
+            dom = max(stms, key=stm_work)
+            chosen = format_schedule(choose_schedule(dom, workers=2))
+
+        ref = run(base, "plan")
+        t_def = timeit(lambda: run(base, "plan"))
+        rows.append(bench_row(f"{name}/default", seconds=t_def, backend="plan",
+                              schedule="(cost model)", chosen_schedule=chosen))
+
+        # schedules are applied at compile time, so forced variants rebuild
+        # from the already-optimised fun under the REPRO_SCHEDULE override
+        monkeypatch.setenv("REPRO_SCHEDULE", "sequential(64)")
+        seq = Compiled(base.fun, optimize=False)
+        np.testing.assert_array_equal(run(seq, "plan"), ref)
+        t_seq = timeit(lambda: run(seq, "plan"))
+        rows.append(bench_row(f"{name}/sequential(64)", seconds=t_seq,
+                              backend="plan", schedule="sequential(64)",
+                              chosen_schedule=chosen))
+
+        monkeypatch.setenv("REPRO_SCHEDULE", "parallel(2)·vectorized")
+        par = Compiled(base.fun, optimize=False)
+        np.testing.assert_allclose(run(par, "shard"), ref, rtol=1e-9, atol=1e-12)
+        t_par = timeit(lambda: run(par, "shard"))
+        rows.append(bench_row(f"{name}/parallel(2)", seconds=t_par,
+                              backend="shard",
+                              schedule="parallel(2)·vectorized",
+                              chosen_schedule=chosen))
+        monkeypatch.delenv("REPRO_SCHEDULE")
+
+        lines.append(
+            f"{name:14s} chosen {chosen:24s} default {t_def*1000:8.2f} ms, "
+            f"sequential(64) {t_seq*1000:8.2f} ms, "
+            f"parallel(2) {t_par*1000:8.2f} ms"
+        )
+    shutdown_shard_pool()
+    benchmark(lambda: lstm_loss(lc, "plan"))
+    write_table("ablation_a10_schedule", lines, rows=rows)

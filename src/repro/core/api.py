@@ -77,14 +77,16 @@ class ADFunction(Compiled):
     """A compiled derivative function with bookkeeping about its shape."""
 
     def __init__(
-        self, fun: Fun, n_primal_out: int, optimize: bool = True, passes=None
+        self, fun: Fun, n_primal_out: int, optimize: bool = True, passes=None,
+        schedule=None,
     ) -> None:
-        super().__init__(fun, optimize=optimize, passes=passes)
+        super().__init__(fun, optimize=optimize, passes=passes, schedule=schedule)
         self.n_primal_out = n_primal_out
 
 
 def vjp(
-    f: FunLike, optimize: bool = True, acc_opt: bool = True, wrt=None, passes=None
+    f: FunLike, optimize: bool = True, acc_opt: bool = True, wrt=None, passes=None,
+    schedule=None,
 ) -> ADFunction:
     """Reverse-mode derivative.
 
@@ -94,7 +96,8 @@ def vjp(
     accumulator→reduce/histogram rewrites (on by default, as in the paper;
     disable for the ablation).  ``passes`` selects the optimisation passes
     applied to the *derivative* program (the pre-AD pipeline always runs the
-    AD-safe set).
+    AD-safe set).  ``schedule`` overrides the derivative program's execution
+    schedule (see ``ir.schedule``; applied after its optimisation).
     """
     fun = _pre_ad(_fun_of(f))
     out = vjp_fun(fun, wrt=wrt)
@@ -102,20 +105,28 @@ def vjp(
         from ..opt.acc_opt import acc_opt_fun
 
         out = acc_opt_fun(out)
-    return ADFunction(out, len(fun.body.result), optimize=optimize, passes=passes)
+    return ADFunction(
+        out, len(fun.body.result), optimize=optimize, passes=passes,
+        schedule=schedule,
+    )
 
 
-def jvp(f: FunLike, optimize: bool = True, passes=None) -> ADFunction:
+def jvp(f: FunLike, optimize: bool = True, passes=None, schedule=None) -> ADFunction:
     """Forward-mode derivative.
 
     ``jvp(f)(*args, *tangents)`` returns ``(*primal_results, *tangent_results)``.
     """
     fun = _pre_ad(_fun_of(f))
     out = jvp_fun(fun)
-    return ADFunction(out, len(fun.body.result), optimize=optimize, passes=passes)
+    return ADFunction(
+        out, len(fun.body.result), optimize=optimize, passes=passes,
+        schedule=schedule,
+    )
 
 
-def grad(f: FunLike, optimize: bool = True, wrt=None, passes=None) -> Callable:
+def grad(
+    f: FunLike, optimize: bool = True, wrt=None, passes=None, schedule=None
+) -> Callable:
     """Gradient of a scalar-valued function: ``grad(f)(*args)`` returns the
     adjoints of the (``wrt``-selected) float parameters."""
     fun = _fun_of(f)
@@ -123,7 +134,7 @@ def grad(f: FunLike, optimize: bool = True, wrt=None, passes=None) -> Callable:
     r0 = fun.body.result[0].type
     if n_res != 1 or not is_float(r0) or rank_of(r0) != 0:
         raise ADError("grad: function must return a single float scalar")
-    g = vjp(f, optimize=optimize, wrt=wrt, passes=passes)
+    g = vjp(f, optimize=optimize, wrt=wrt, passes=passes, schedule=schedule)
 
     def run(*args, backend: Optional[str] = None):
         res = _as_tuple(g(*args, 1.0, backend=backend or default_backend()))
@@ -134,13 +145,15 @@ def grad(f: FunLike, optimize: bool = True, wrt=None, passes=None) -> Callable:
     return run
 
 
-def value_and_grad(f: FunLike, optimize: bool = True, wrt=None, passes=None) -> Callable:
+def value_and_grad(
+    f: FunLike, optimize: bool = True, wrt=None, passes=None, schedule=None
+) -> Callable:
     """Like ``grad`` but also returns the primal value."""
     fun = _fun_of(f)
     r0 = fun.body.result[0].type
     if len(fun.body.result) != 1 or not is_float(r0) or rank_of(r0) != 0:
         raise ADError("value_and_grad: function must return a single float scalar")
-    g = vjp(f, optimize=optimize, wrt=wrt, passes=passes)
+    g = vjp(f, optimize=optimize, wrt=wrt, passes=passes, schedule=schedule)
 
     def run(*args, backend: Optional[str] = None):
         # Normalise exactly as ``grad`` does: ``Compiled`` unwraps singleton

@@ -54,7 +54,15 @@ from ..ir.types import np_dtype
 from ..obs import tracing as _obs_tracing
 from ..util import ExecError, env_capacity
 from . import values as _values
-from .lower import IntRef, PlanIR, Ref, check_spec_sig, lower_fun, spec_signature
+from .lower import (
+    IntRef,
+    PlanIR,
+    Ref,
+    check_spec_sig,
+    lower_fun,
+    plan_schedules,
+    spec_signature,
+)
 from .plan import (
     EMITTER_STATS,
     PLAN_STATS,
@@ -330,6 +338,9 @@ class _SrcEmitter:
         return res
 
     def _emit_map(self, e) -> None:
+        if getattr(e, "chunk", 0) > 1 and not e.accs and e.n_acc == 0:
+            self._emit_map_chunked(e, e.chunk)
+            return
         d, args, n = self._soac_prologue(e.arrs)
         na = len(e.arrs)
         accs = [self.ref(a) for a in e.accs]
@@ -355,6 +366,52 @@ class _SrcEmitter:
                     f"+ ({n},) + {rd}.shape[{d} + 1:])"
                 )
                 self.w(f"s{slot} = BV(np.ascontiguousarray({rd}), {d})")
+
+    def _emit_map_chunked(self, e, chunk: int) -> None:
+        """A ``sequential(chunk)`` schedule on an acc-free map: the body is
+        emitted once into a nested helper ``def`` (sound: the temp counter is
+        global, SSA slots are unique, and nested defs close over enclosing
+        locals), which both the in-order chunk loop and the bulk fallback
+        call.  The chunked path only fires at top level (no batch axis, no
+        mask); slicing is exact because ``_batch_args`` guarantees every
+        param has extent exactly ``n`` on the batch axis, so the chunked
+        payloads concatenate bitwise-identically to the bulk evaluation."""
+        d, args, n = self._soac_prologue(e.arrs)
+        body_fn, mv, mn = self.fresh("mapseq"), self.fresh("mv"), self.fresh("mn")
+        self.w(f"def {body_fn}({mv}, {mn}):")
+        self.level += 1
+        res = self._emit_soac_body(
+            e.params, e.body,
+            lambda i, slot: self.w(f"s{slot} = {mv}[{i}]"), mn,
+        )
+        outs = []
+        for j in range(len(e.outs)):
+            rd = self.fresh("rd")
+            self.w(f"{rd} = _expand({res[j]}, {d} + 1)")
+            self.w(f"if {rd}.shape[{d}] != {mn}:")
+            self.w(
+                f"    {rd} = np.broadcast_to({rd}, {rd}.shape[:{d}] "
+                f"+ ({mn},) + {rd}.shape[{d} + 1:])"
+            )
+            outs.append(rd)
+        self.w(f"return ({', '.join(outs)},)")
+        self.level -= 1
+        parts, lo, p = self.fresh("parts"), self.fresh("lo"), self.fresh("p")
+        self.w(f"if {d} == 0 and eng.mask is None and {n} > {chunk}:")
+        self.w(
+            f"    {parts} = [{body_fn}([BV({p}.data[{lo}:{lo} + {chunk}], "
+            f"{p}.bdims) for {p} in {args}], min({chunk}, {n} - {lo})) "
+            f"for {lo} in range(0, {n}, {chunk})]"
+        )
+        for j, (slot, _nm) in enumerate(e.outs):
+            self.w(
+                f"    s{slot} = BV(np.ascontiguousarray(np.concatenate("
+                f"[{p}[{j}] for {p} in {parts}], axis=0)), 0)"
+            )
+        self.w("else:")
+        self.w(f"    {parts} = {body_fn}({args}, {n})")
+        for j, (slot, _nm) in enumerate(e.outs):
+            self.w(f"    s{slot} = BV(np.ascontiguousarray({parts}[{j}]), {d})")
 
     def _emit_map_part(self, mparams, mbody, src, d: str, n: str) -> str:
         """Inline a redomap map part: bind params via ``src(i)`` expressions,
@@ -980,6 +1037,11 @@ class CodegenPlan:
             em = _SrcEmitter()
             src, ns = em.render(ir)
             self.source = src
+            #: Injected Python constants, in ``_K{i}`` order — with
+            #: ``source``/``param_types`` this is everything a process
+            #: worker needs to recompile the plan (``codegen_payload``).
+            self.consts = tuple(em.consts)
+            self.schedule_str = plan_schedules(ir)
         with _obs_tracing.timed("compile", cat="compile", fun=fun.name, emitter="codegen") as tcc:
             code = compile(src, f"<codegen:{fun.name}>", "exec")
             exec(code, ns)
@@ -1017,7 +1079,8 @@ class CodegenPlan:
                 f"got {len(args)}"
             )
         self._check_spec_sig(args, None)
-        with _obs_tracing.span("execute", cat="exec", fun=self.fun.name, emitter="codegen"):
+        with _obs_tracing.span("execute", cat="exec", fun=self.fun.name, emitter="codegen",
+                               schedule=self.schedule_str or None):
             eng = _Engine(0)
             vals = [
                 BV(np.asarray(coerce_arg(a, t)), 0)
@@ -1046,7 +1109,8 @@ class CodegenPlan:
         if len(batched) != len(args):
             raise ExecError("run_batched: batched flags must match arguments")
         self._check_spec_sig(args, batched)
-        with _obs_tracing.span("execute", cat="exec", fun=self.fun.name, emitter="codegen", batched=True):
+        with _obs_tracing.span("execute", cat="exec", fun=self.fun.name, emitter="codegen",
+                               batched=True, schedule=self.schedule_str or None):
             b = int(batch_size)
             eng = _Engine(0)
             eng.bstack.append(b)
@@ -1094,6 +1158,79 @@ def compile_codegen(
 
 
 register_emitter("codegen", CodegenPlan)
+
+
+# ---------------------------------------------------------------------------
+# Shipping codegen plans to process workers
+# ---------------------------------------------------------------------------
+#
+# Code objects don't pickle, but *source* does: a process worker can rebuild
+# a codegen plan from ``(name, source, consts, param_types)`` — the injected
+# ``_K{i}`` constants are ufuncs, dtypes and prebuilt arrays, all picklable
+# for the programs the shard executor ships (anything exotic surfaces as a
+# PicklingError at submit time and degrades to the thread pool).
+
+
+_PAYLOAD_MEMO: "BoundedLRU" = None  # type: ignore[assignment]
+_PAYLOAD_MEMO_CAP = 128
+
+
+def codegen_payload(fun: Fun) -> Tuple[str, str, tuple, tuple]:
+    """``(name, source, consts, param_types)`` for worker-side recompilation
+    (memoised per ``fun`` identity; workers cache by ``ir_hash``)."""
+    global _PAYLOAD_MEMO
+    if _PAYLOAD_MEMO is None:
+        from ..util import BoundedLRU
+
+        _PAYLOAD_MEMO = BoundedLRU()
+    ent = _PAYLOAD_MEMO.get(id(fun))
+    if ent is not None and ent[0] is fun:
+        return ent[1]
+    plan = CodegenPlan(fun)
+    payload = (fun.name, plan.source, plan.consts, tuple(plan.param_types))
+    _PAYLOAD_MEMO.put(id(fun), (fun, payload), _PAYLOAD_MEMO_CAP)
+    return payload
+
+
+class _ShippedFun:
+    """Stand-in for the ``fun`` a shipped plan no longer carries: the run
+    methods only read ``.name`` (spans and error messages)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+
+class ShippedCodegenPlan(CodegenPlan):
+    """A ``CodegenPlan`` rebuilt worker-side from a ``codegen_payload``.
+
+    Skips lowering and emission entirely — the parent already did both —
+    and just recompiles the shipped source against the shared base
+    namespace plus the shipped constants.  ``run``/``run_batched`` are
+    inherited unchanged, so chunk execution is bitwise-identical to the
+    parent's own codegen backend."""
+
+    def __init__(self, payload: Tuple[str, str, tuple, tuple]) -> None:
+        name, source, consts, param_types = payload
+        ns = dict(_BASE_NAMESPACE)
+        for i, obj in enumerate(consts):
+            ns[f"_K{i}"] = obj
+        with _obs_tracing.timed("compile", cat="compile", fun=name, emitter="codegen"):
+            code = compile(source, f"<codegen:shipped:{name}>", "exec")
+            exec(code, ns)
+            self._fn = ns["_plan_main"]
+        self.fun = _ShippedFun(name)
+        self.specialized = False
+        self.spec_sig = None
+        self.param_slots = tuple(range(len(param_types)))
+        self.param_types = tuple(param_types)
+        self.nslots = 0
+        self.fused_stms = 0
+        self.spec_folds = 0
+        self.source = source
+        self.consts = tuple(consts)
+        self.schedule_str = ""
 
 
 def run_fun_codegen(fun: Fun, args: Sequence[object]) -> Tuple[object, ...]:

@@ -74,6 +74,8 @@ from ..ir.ast import (
     WithAcc,
     ZerosLike,
 )
+from ..ir.schedule import SCHEDULABLE as _SCHEDULABLE
+from ..ir.schedule import schedule_str as _schedule_str
 from ..ir.traversal import free_vars_exp
 from ..ir.types import np_dtype
 from ..obs import tracing as _tracing
@@ -88,6 +90,7 @@ __all__ = [
     "PlanIR",
     "lower_fun",
     "lower_specialized",
+    "plan_schedules",
     "spec_signature",
     "check_spec_sig",
     "IRun",
@@ -180,6 +183,11 @@ class _Instr:
     #: emitter (``obs/profiler.py``) keys its per-instruction timings to
     #: these statements; everything else ignores them.
     prov: tuple = ()
+    #: The active schedule of the lowered SOAC/loop statement, formatted
+    #: (``ir.schedule.schedule_str``) — carried so execute/shard spans and
+    #: the profiler report can say *how* a statement was scheduled.  Empty
+    #: on non-schedulable instructions.
+    schedule: str = ""
 
 
 class IRun(_Instr):
@@ -252,12 +260,18 @@ class IConcat(_Instr):
 
 
 class IMap(_Instr):
-    kind = "map"
-    __slots__ = ("arrs", "accs", "params", "body", "n_acc", "outs")
+    """``chunk > 1`` realises a ``sequential(chunk)`` schedule directive:
+    the emitters slice the (acc-free, top-level, unmasked) map into in-order
+    chunks of that extent and concatenate the payloads — bitwise-identical
+    to the bulk path because elementwise NumPy slices compose exactly."""
 
-    def __init__(self, arrs, accs, params, body, n_acc, outs):
+    kind = "map"
+    __slots__ = ("arrs", "accs", "params", "body", "n_acc", "outs", "chunk")
+
+    def __init__(self, arrs, accs, params, body, n_acc, outs, chunk=0):
         self.arrs, self.accs, self.params = arrs, accs, params
         self.body, self.n_acc, self.outs = body, n_acc, outs
+        self.chunk = chunk
 
 
 class IReduce(_Instr):
@@ -373,6 +387,14 @@ class PlanIR:
         self.fused = fused
         self.folds = folds
         self.specialized = specialized
+
+
+def plan_schedules(ir: "PlanIR") -> str:
+    """Comma-joined distinct active schedules of the plan's top-level
+    SOAC/loop instructions — the ``schedule`` attribute on execute spans."""
+    return ",".join(dict.fromkeys(
+        ins.schedule for ins in ir.body.instrs if ins.schedule
+    ))
 
 
 # ---------------------------------------------------------------------------
@@ -502,6 +524,9 @@ class _Lowerer:
                 continue
             ins = self._lower_stm(stms[i])
             ins.prov = (stms[i],)
+            e = stms[i].exp
+            if isinstance(e, _SCHEDULABLE):
+                ins.schedule = _schedule_str(e)
             instrs.append(ins)
             i += 1
         return PBody(tuple(instrs), self.refs(body.result))
@@ -635,10 +660,19 @@ class _Lowerer:
     # -- SOACs ----------------------------------------------------------------
 
     def _lower_map(self, e: Map, stm: Stm) -> IMap:
+        chunk = 0
+        if not e.accs:
+            from ..ir.schedule import Sequential
+
+            chunk = next(
+                (d.chunk for d in e.schedule
+                 if isinstance(d, Sequential) and d.chunk > 1), 0,
+            )
         return IMap(
             self.refs(e.arrs), self.refs(e.accs), self.pslots(e.lam.params),
             self.lower_body(e.lam.body), len(e.accs),
             self.outs_of(stm, len(e.lam.body.result)),
+            chunk=chunk,
         )
 
     def _lower_map_part(self, mlam: Lambda):

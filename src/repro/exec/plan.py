@@ -94,6 +94,7 @@ from .lower import (
     Ref,
     check_spec_sig,
     lower_fun,
+    plan_schedules,
     spec_signature,
 )
 from .prims import apply_binop, apply_unop, cast_to
@@ -447,6 +448,58 @@ class _ClosureEmitter:
         pslots = tuple(s for s, _ in e.params)
         code = self.emit_body(e.body)
         n_acc = e.n_acc
+        chunk = getattr(e, "chunk", 0)
+
+        if chunk > 1 and not e.accs and n_acc == 0:
+            # ``sequential(chunk)`` schedule: run the (acc-free) map in
+            # in-order chunks and concatenate.  ``_batch_args`` guarantees
+            # every param's data has extent exactly ``n`` on the batch axis,
+            # so slicing at axis 0 is exact, and elementwise NumPy ops on
+            # slices are bitwise-equal to the bulk evaluation.  The chunked
+            # path only fires at top level (no batch axis, no mask) — the
+            # same plan may also serve batched runs, which fall back to the
+            # bulk path below.
+            def fn_chunked(eng, _arrs=arr_rds, _ps=pslots, _code=code,
+                           _chunk=chunk):
+                d = len(eng.bstack)
+                params, n = _map_args_rt(eng, _arrs)
+                regs = eng.regs
+
+                def one(vals, m):
+                    for s, v in zip(_ps, vals):
+                        regs[s] = v
+                    eng.bstack.append(m)
+                    try:
+                        res = _run_body(eng, _code)
+                    finally:
+                        eng.bstack.pop()
+                    out = []
+                    for r in res:
+                        rd = _expand(r, d + 1)
+                        if rd.shape[d] != m:
+                            rd = np.broadcast_to(
+                                rd, rd.shape[:d] + (m,) + rd.shape[d + 1:]
+                            )
+                        out.append(rd)
+                    return out
+
+                if d == 0 and eng.mask is None and n > _chunk:
+                    parts = [
+                        one([BV(p.data[lo:lo + _chunk], p.bdims)
+                             for p in params],
+                            min(_chunk, n - lo))
+                        for lo in range(0, n, _chunk)
+                    ]
+                    return tuple(
+                        BV(np.ascontiguousarray(
+                            np.concatenate([p[j] for p in parts], axis=0)), 0)
+                        for j in range(len(parts[0]))
+                    )
+                return tuple(
+                    BV(np.ascontiguousarray(rd), d) for rd in one(params, n)
+                )
+
+            return _assign_multi(fn_chunked, e.outs)
 
         def fn(eng, _arrs=arr_rds, _accs=acc_rds, _ps=pslots, _code=code, _na=n_acc):
             d = len(eng.bstack)
@@ -1052,6 +1105,9 @@ class Plan:
             self.param_types = ir.param_types
             self.code = em.emit_body(ir.body)
             self.nslots = ir.nslots
+            #: Distinct active schedules of the top-level SOAC/loop
+            #: statements, for the execute span.
+            self.schedule_str = plan_schedules(ir)
             #: Statements collapsed into fused scalar-run closures (recursive).
             self.fused_stms = ir.fused
             #: Compile-time folds performed by the specialised lowering.
@@ -1081,7 +1137,8 @@ class Plan:
                 f"got {len(args)}"
             )
         self._check_spec_sig(args, None)
-        with _span("execute", cat="exec", fun=self.fun.name, emitter=self.emitter_name):
+        with _span("execute", cat="exec", fun=self.fun.name, emitter=self.emitter_name,
+                   schedule=self.schedule_str or None):
             eng = _Engine(self.nslots)
             regs = eng.regs
             for s, a, t in zip(self.param_slots, args, self.param_types):
@@ -1114,7 +1171,8 @@ class Plan:
         if len(batched) != len(args):
             raise ExecError("run_batched: batched flags must match arguments")
         self._check_spec_sig(args, batched)
-        with _span("execute", cat="exec", fun=self.fun.name, emitter=self.emitter_name, batched=True):
+        with _span("execute", cat="exec", fun=self.fun.name, emitter=self.emitter_name,
+                   batched=True, schedule=self.schedule_str or None):
             b = int(batch_size)
             eng = _Engine(self.nslots)
             eng.bstack.append(b)

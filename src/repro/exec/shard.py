@@ -1,18 +1,22 @@
-"""Sharded parallel executor — chunked plan execution on a worker pool.
+"""Sharded parallel executor — the ``parallel`` schedule directive's runtime.
 
 The plan backend (``exec/plan.py``) runs a whole program as one sequence of
 NumPy closures — fast, but single-threaded: one ufunc loop at a time.  This
-module is the multi-core layer above it, shaped after JAX's ``gmap`` split of
-one traced function into ``parallel`` over ``vectorized`` loops: the leading
-axis of the program's dominant data-parallel SOAC becomes a *parallel* loop
-over a persistent worker pool, and each chunk still executes as bulk
-*vectorized* plan code.
+module is the multi-core layer above it, realising the ``parallel``
+directive of the schedule IR (``ir/schedule.py``): the leading axis of the
+program's dominant data-parallel SOAC becomes a *parallel* loop over a
+persistent worker pool, and each chunk still executes as bulk *vectorized*
+plan code — the ``parallel(w)·vectorized`` split of JAX's ``gmap``.
 
 Execution model
 ---------------
 
-``run_fun_shard(fun, args)`` consults the shardability analysis
-(``ir.analysis.shard_split``, memoised per function):
+``run_fun_shard(fun, args)`` consults the schedule-legality analysis
+(``ir.analysis.parallel_split``, memoised per function).  An explicit
+``parallel`` directive on a statement (attached via ``schedule=`` or
+``REPRO_SCHEDULE``) pins the split point and — when it names a worker
+count — the pool size for that call; otherwise the heaviest legal
+statement is chosen by estimated work:
 
 * **shardable** — the body splits into prefix / shard point / suffix.  The
   prefix runs once in the parent (plan backend); the shard point's input
@@ -55,23 +59,30 @@ persistent pool; ``REPRO_SHARD_MODE`` selects it:
 * ``process`` — a spawn-based ``ProcessPoolExecutor`` for workloads whose
   Python-side dispatch would serialise on the GIL.  ndarray inputs/outputs
   travel through ``multiprocessing.shared_memory`` segments (pickled inline
-  below ``REPRO_SHARD_SHM_MIN`` bytes); each worker caches lowered plans by
-  a parent-assigned token so a function ships its IR once per call but is
-  lowered once per worker.  A pool-infrastructure failure (a broken worker,
-  spawn unavailable, an unpicklable environment) is counted in
-  ``shard_stats()["pool_errors"]`` and degrades the call — and, stickily,
-  the rest of the session — to the thread path (serial in-process when one
-  worker is configured); errors a chunk program actually raised propagate
-  unchanged.
+  below ``REPRO_SHARD_SHM_MIN`` bytes); each worker caches built plans by
+  the dispatched program's ``ir_hash`` so a function ships per call but is
+  built once per worker.  With ``REPRO_SHARD_EMITTER=codegen`` (or a
+  ``codegen`` session backend) the parent ships generated source plus the
+  injected constants instead of pickled IR, and workers ``compile()`` it
+  (``exec/codegen.py``'s ``ShippedCodegenPlan``).  A pool-infrastructure
+  failure (a broken worker, spawn unavailable, an unpicklable environment)
+  is counted in ``shard_stats()["pool_errors"]`` and degrades the call to
+  the thread path (serial in-process when one worker is configured) — but
+  the degradation is *bounded*, not sticky: after
+  ``REPRO_SHARD_RETRY_AFTER`` degraded calls (the interval doubling on
+  each consecutive failure, capped at 8x) the pool is re-probed, and
+  ``reset_shard_degradation()`` re-arms it immediately.  Errors a chunk
+  program actually raised propagate unchanged.
 
 ``shard_stats()`` mirrors ``plan_cache_stats()``: call/chunk/fallback/pool
-counters plus the currently-configured workers and mode;
-``reset_shard_stats()`` and ``shutdown_shard_pool()`` are the test hooks.
+counters (including degraded-call and retry counts) plus the configured
+workers, mode and live degradation flag; ``reset_shard_stats()``,
+``reset_shard_degradation()`` and ``shutdown_shard_pool()`` are the test
+hooks.
 """
 from __future__ import annotations
 
 import atexit
-import itertools
 import math
 import os
 import pickle
@@ -86,7 +97,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..ir.analysis import ShardSplit, shard_split
+from ..ir.analysis import ParallelSplit, ir_hash, parallel_split
 from ..ir.ast import Fun
 from ..ir.cost_model import soac_elem_cost, task_grain
 from ..obs import metrics as _obs_metrics, tracing as _obs_tracing
@@ -100,6 +111,7 @@ __all__ = [
     "SHARD_STATS",
     "shard_stats",
     "reset_shard_stats",
+    "reset_shard_degradation",
     "shard_workers",
     "shard_mode",
     "shutdown_shard_pool",
@@ -152,15 +164,17 @@ def _shm_min() -> int:
 
 
 def _chunk_emitter() -> str:
-    """Which plan-family emitter thread-mode chunks compile with.
+    """Which plan-family emitter shard chunks compile with.
 
     ``REPRO_SHARD_EMITTER`` picks explicitly (``plan`` or ``codegen``);
     unset, chunks follow the session default — codegen-compiled when the
     session backend is ``codegen``, profile-instrumented when
     ``REPRO_PROFILE`` is on (so sharded execute time stays attributed),
-    closure plans otherwise.  Process-mode workers always build closure
-    ``Plan``s on their side (code objects do not pickle), so the knob only
-    affects the thread path.
+    closure plans otherwise.  Process-mode workers honour ``codegen`` by
+    compiling shipped generated source (``exec/codegen.py``'s
+    ``ShippedCodegenPlan`` — closure code objects do not pickle, source
+    text does); the ``profile`` emitter is thread-side only, so process
+    workers map it to plain ``Plan``s.
     """
     em = os.environ.get("REPRO_SHARD_EMITTER")
     if em is not None:
@@ -179,8 +193,10 @@ def _chunk_emitter() -> str:
 # ---------------------------------------------------------------------------
 
 #: Counters mirroring ``plan_cache_stats``: sharded/batched/fallback call
-#: counts, total dispatched chunks, pool (re)builds and infrastructure
-#: failures.  ``shard_stats()`` adds the live worker/mode configuration.
+#: counts, total dispatched chunks, pool (re)builds, infrastructure
+#: failures, and process-degradation bookkeeping (calls served by the
+#: thread path while degraded; pool re-probe attempts).  ``shard_stats()``
+#: adds the live worker/mode/degradation configuration.
 SHARD_STATS = _obs_metrics.counter_group(
     "shard",
     {
@@ -190,6 +206,8 @@ SHARD_STATS = _obs_metrics.counter_group(
         "chunks": 0,
         "pool_builds": 0,
         "pool_errors": 0,
+        "process_degraded_calls": 0,
+        "process_retries": 0,
     },
 )
 
@@ -202,16 +220,16 @@ def shard_stats() -> Dict[str, object]:
         **SHARD_STATS,
         "workers": shard_workers(),
         "mode": shard_mode(),
+        "process_degraded": _DEGRADED,
         "analysis_entries": len(_SPLITS),
     }
 
 
 def reset_shard_stats() -> None:
     """Zero every counter (configuration values are env-derived, untouched)
-    and re-arm process mode after a sticky pool failure."""
-    global _PROCESS_BROKEN
+    and re-arm process mode after a pool failure."""
     SHARD_STATS.reset()
-    _PROCESS_BROKEN = False
+    reset_shard_degradation()
 
 
 _obs_metrics.register_source("shard", shard_stats, reset_shard_stats)
@@ -223,35 +241,17 @@ _obs_metrics.register_source("shard", shard_stats, reset_shard_stats)
 
 _SPLITS = BoundedLRU()
 _SPLITS_CAP = 1024
-_TOKENS = itertools.count()
-
-#: Worker-cache tokens per *dispatched* ``Fun`` (the chunk function for
-#: ``run_fun_shard``, the whole function for ``run_fun_shard_batched`` —
-#: keying on the dispatched object keeps the two from ever sharing a token,
-#: so a worker can never replay the wrong cached plan).  Entries hold the
-#: fun strongly, so a keyed id cannot be recycled while its token lives.
-_FUN_TOKENS = BoundedLRU()
 
 
-def _token_for(fun: Fun) -> str:
-    ent = _FUN_TOKENS.get(id(fun))
-    if ent is not None and ent[0] is fun:
-        return ent[1]
-    # Unique per parent process AND per assignment, so a recycled id() can
-    # never revive a stale plan in a worker's cache.
-    token = f"{os.getpid()}.{next(_TOKENS)}"
-    _FUN_TOKENS.put(id(fun), (fun, token), _SPLITS_CAP)
-    return token
-
-
-def _split_for(fun: Fun) -> Tuple[Optional[ShardSplit], Optional[float]]:
-    """``(shard_split(fun), estimated per-element cost of the shard point)``,
-    memoised by identity.  The element cost drives ``_chunk_bounds``' derived
-    chunk sizing; it is computed once per function, not per call."""
+def _split_for(fun: Fun) -> Tuple[Optional[ParallelSplit], Optional[float]]:
+    """``(parallel_split(fun), estimated per-element cost of the split
+    point)``, memoised by identity.  The element cost drives
+    ``_chunk_bounds``' derived chunk sizing; it is computed once per
+    function, not per call."""
     ent = _SPLITS.get(id(fun))
     if ent is not None and ent[0] is fun:
         return ent[1], ent[2]
-    split = shard_split(fun)
+    split = parallel_split(fun)
     elem_cost = None
     if split is not None:
         elem_cost = soac_elem_cost(split.chunk_fun.body.stms[0].exp)
@@ -267,11 +267,73 @@ _POOL = None
 _POOL_KEY = None
 _POOL_LOCK = threading.Lock()
 
-#: Sticky degrade: once the process pool proves broken (spawn unavailable,
-#: unpicklable environment), later calls go straight to in-process execution
-#: instead of paying a doomed pool construction per call.  Cleared by
-#: ``reset_shard_stats`` so tests/operators can re-probe after a fix.
-_PROCESS_BROKEN = False
+#: Bounded degrade: once the process pool proves broken (spawn unavailable,
+#: unpicklable environment), later calls go straight to the thread path
+#: instead of paying a doomed pool construction per call — but not forever.
+#: After ``REPRO_SHARD_RETRY_AFTER`` degraded calls (the interval doubling
+#: on each consecutive failure, capped at 8x) the next call re-probes the
+#: pool; ``reset_shard_degradation()`` re-arms it immediately.
+_DEGRADE_LOCK = threading.Lock()
+_DEGRADED = False
+_DEGRADED_CALLS = 0
+_RETRY_AT = 0
+_RETRY_BACKOFF = 0
+
+
+def _retry_after() -> int:
+    """Degraded calls before process mode is re-probed
+    (``REPRO_SHARD_RETRY_AFTER``)."""
+    return max(1, env_capacity("REPRO_SHARD_RETRY_AFTER", 64))
+
+
+def reset_shard_degradation() -> None:
+    """Forget a process-pool failure: the next process-mode call probes the
+    pool again, with the retry backoff reset (also invoked by
+    ``reset_shard_stats``)."""
+    global _DEGRADED, _DEGRADED_CALLS, _RETRY_AT, _RETRY_BACKOFF
+    with _DEGRADE_LOCK:
+        _DEGRADED = False
+        _DEGRADED_CALLS = 0
+        _RETRY_AT = 0
+        _RETRY_BACKOFF = 0
+
+
+def _process_degraded() -> bool:
+    """True while this call should skip the process pool.
+
+    Counts the calls served by the thread path while degraded; once the
+    backoff interval has elapsed, the next call re-probes the pool
+    (returns False once, counted as a retry)."""
+    global _DEGRADED, _DEGRADED_CALLS
+    with _DEGRADE_LOCK:
+        if not _DEGRADED:
+            return False
+        _DEGRADED_CALLS += 1
+        SHARD_STATS["process_degraded_calls"] += 1
+        if _DEGRADED_CALLS >= _RETRY_AT:
+            SHARD_STATS["process_retries"] += 1
+            _DEGRADED = False
+            _DEGRADED_CALLS = 0
+            return False
+        return True
+
+
+def _degrade_process() -> None:
+    global _DEGRADED, _DEGRADED_CALLS, _RETRY_AT, _RETRY_BACKOFF
+    with _DEGRADE_LOCK:
+        _DEGRADED = True
+        _DEGRADED_CALLS = 0
+        _RETRY_BACKOFF = min(_RETRY_BACKOFF + 1, 4)
+        _RETRY_AT = _retry_after() * (2 ** (_RETRY_BACKOFF - 1))
+
+
+def _note_process_ok() -> None:
+    global _DEGRADED, _DEGRADED_CALLS, _RETRY_AT, _RETRY_BACKOFF
+    with _DEGRADE_LOCK:
+        _DEGRADED = False
+        _DEGRADED_CALLS = 0
+        _RETRY_AT = 0
+        _RETRY_BACKOFF = 0
 
 
 def _get_pool(mode: str, workers: int):
@@ -410,10 +472,13 @@ def _encode_arg(a, memo: dict, holds: list):
     return ("raw", a)
 
 
-#: Worker-side cache of lowered plans, keyed by parent-assigned token — a
-#: true LRU (shared ``util.BoundedLRU``, like every other cache in the
-#: system) so a long session cycling through many functions evicts cold
-#: plans one at a time instead of wiping the hot set.
+#: Worker-side cache of built plans, keyed ``f"{ir_hash(fun)}:{kind}"`` —
+#: the dispatched program's content hash (schedule bytes included) plus the
+#: plan kind, so a worker-lowered ``Plan`` and a codegen-shipped build of
+#: the same program never collide.  A true LRU (shared ``util.BoundedLRU``,
+#: like every other cache in the system) so a long session cycling through
+#: many functions evicts cold plans one at a time instead of wiping the
+#: hot set.
 _WORKER_PLANS = BoundedLRU()
 _WORKER_PLANS_CAP = 128
 
@@ -447,12 +512,21 @@ def _encode_result(r):
 
 
 def _process_task(payload):
-    """Worker entry: decode args, run the (cached) plan, encode results."""
-    token, fun_bytes, specs, batched, batch_n = payload
-    plan = _WORKER_PLANS.get(token)
+    """Worker entry: decode args, run the (cached) plan, encode results.
+
+    ``kind`` selects how the blob becomes a runnable plan: ``"plan"`` ships
+    pickled IR and lowers worker-side; ``"codegen"`` ships generated source
+    plus injected constants and ``compile()``s it — no IR, no lowering."""
+    key, kind, blob, specs, batched, batch_n = payload
+    plan = _WORKER_PLANS.get(key)
     if plan is None:
-        plan = Plan(pickle.loads(fun_bytes))
-        _WORKER_PLANS.put(token, plan, _WORKER_PLANS_CAP)
+        if kind == "codegen":
+            from .codegen import ShippedCodegenPlan
+
+            plan = ShippedCodegenPlan(blob)
+        else:
+            plan = Plan(pickle.loads(blob))
+        _WORKER_PLANS.put(key, plan, _WORKER_PLANS_CAP)
     opened: list = []
     try:
         args = [_decode_arg(s, opened) for s in specs]
@@ -511,15 +585,22 @@ def _shm_spec_bytes(specs) -> int:
 
 def _dispatch_process(
     fun: Fun,
-    token: str,
     arg_lists: Sequence[Sequence[object]],
     batched,
     batch_ns,
     workers: int,
     bounds=None,
+    schedule: str = "",
 ):
     pool = _get_pool("process", workers)
-    fun_bytes = pickle.dumps(fun)
+    kind = "codegen" if _chunk_emitter() == "codegen" else "plan"
+    if kind == "codegen":
+        from .codegen import codegen_payload
+
+        blob = codegen_payload(fun)
+    else:
+        blob = pickle.dumps(fun)
+    key = f"{ir_hash(fun)}:{kind}"
     memo: dict = {}
     holds: list = []
     try:
@@ -537,13 +618,15 @@ def _dispatch_process(
                 chunk=i,
                 extent=(bounds[i][1] - bounds[i][0]) if bounds is not None else None,
                 bytes=_shm_spec_bytes(specs),
+                schedule=schedule or None,
             ):
                 futs.append(
                     pool.submit(
                         _process_task,
                         (
-                            token,
-                            fun_bytes,
+                            key,
+                            kind,
+                            blob,
                             specs,
                             batched,
                             batch_ns[i] if batch_ns is not None else None,
@@ -588,8 +671,14 @@ def _dispatch(
     batched=None,
     batch_ns=None,
     bounds=None,
+    workers: Optional[int] = None,
+    schedule: str = "",
 ) -> List[Tuple[object, ...]]:
     """Run ``fun`` over every chunk argument list, in order.
+
+    ``workers`` overrides the env-derived pool size (an explicit
+    ``parallel(w)`` directive); ``schedule`` is the active schedule string
+    stamped on every ``shard:chunk`` span.
 
     Thread mode (and the in-process fallback for a broken process pool)
     resolves the chunk plan *per chunk* through the two-tier plan cache —
@@ -600,15 +689,16 @@ def _dispatch(
     the pickled ``Fun`` plus shm descriptors to ``_process_task``.  Results
     always come back in chunk order.
     """
-    global _PROCESS_BROKEN
-    workers = shard_workers()
+    workers = workers or shard_workers()
     SHARD_STATS["chunks"] += len(arg_lists)
-    if shard_mode() == "process" and not _PROCESS_BROKEN:
+    if shard_mode() == "process" and not _process_degraded():
         try:
-            return _dispatch_process(
-                fun, _token_for(fun), arg_lists, batched, batch_ns, workers,
-                bounds=bounds,
+            res = _dispatch_process(
+                fun, arg_lists, batched, batch_ns, workers,
+                bounds=bounds, schedule=schedule,
             )
+            _note_process_ok()
+            return res
         except (
             BrokenExecutor,
             CancelledError,
@@ -623,7 +713,7 @@ def _dispatch(
             # actually raised — propagate unchanged.
             SHARD_STATS["pool_errors"] += 1
             shutdown_shard_pool()
-            _PROCESS_BROKEN = True
+            _degrade_process()
 
     emitter = _chunk_emitter()
 
@@ -639,6 +729,7 @@ def _dispatch(
             chunk=i,
             extent=extent,
             worker=threading.current_thread().name,
+            schedule=schedule or None,
         ):
             plan = plan_for(fun, args, batched, backend="shard", emitter=emitter)
             if batched is None:
@@ -708,7 +799,10 @@ def run_fun_shard(fun: Fun, args: Sequence[object]) -> Tuple[object, ...]:
     bounds = _chunk_bounds(n, elem_cost)
     bcast = [pre[i] for i in split.chunk_broadcast]
     arg_lists = [[v[lo:hi] for v in shard_vals] + bcast for lo, hi in bounds]
-    outs = _dispatch(split.chunk_fun, arg_lists, bounds=bounds)
+    outs = _dispatch(
+        split.chunk_fun, arg_lists, bounds=bounds,
+        workers=split.workers or None, schedule=split.schedule_str,
+    )
     if split.kind == "map":
         combined = [
             np.concatenate([np.asarray(o[i]) for o in outs], axis=0)
@@ -759,7 +853,10 @@ def run_fun_shard_batched(
         for lo, hi in bounds
     ]
     batch_ns = [hi - lo for lo, hi in bounds]
-    outs = _dispatch(fun, arg_lists, batched=batched, batch_ns=batch_ns, bounds=bounds)
+    outs = _dispatch(
+        fun, arg_lists, batched=batched, batch_ns=batch_ns, bounds=bounds,
+        schedule=f"parallel({nchunks})·vectorized",
+    )
     SHARD_STATS["batched_calls"] += 1
     return tuple(
         np.concatenate([np.asarray(o[i]) for o in outs], axis=0)

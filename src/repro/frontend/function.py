@@ -76,6 +76,14 @@ class Compiled:
     sequence of registered pass names — see ``opt.pipeline``); None means
     the default set, overridable via the ``REPRO_OPT_PASSES`` environment
     variable.
+
+    ``schedule`` overrides the cost model's default execution schedule (see
+    ``ir.schedule``): a directive string like ``"parallel(2)·vectorized"``
+    or a tuple of directive objects, attached *after* optimisation to the
+    dominant schedulable statement — illegal schedules raise
+    ``ScheduleError`` naming the offending directive.  With no explicit
+    ``schedule``, the ``REPRO_SCHEDULE`` environment override (if set) is
+    applied leniently to every statement where it is legal.
     """
 
     def __init__(
@@ -83,11 +91,22 @@ class Compiled:
         fun: Fun,
         optimize: bool = True,
         passes: "Sequence[str] | None" = None,
+        schedule=None,
     ) -> None:
         if optimize:
             from ..opt.pipeline import optimize_fun
 
             fun = optimize_fun(fun, passes=passes)
+        # Schedules attach after optimisation: the optimiser rebuilds SOAC
+        # nodes positionally, which deliberately resets schedule fields.
+        if schedule is not None:
+            from ..ir.schedule import apply_schedule
+
+            fun = apply_schedule(fun, schedule, strict=True)
+        else:
+            from ..ir.schedule import apply_env_schedule
+
+            fun = apply_env_schedule(fun)
         self.fun = fun
 
     @property
@@ -142,6 +161,9 @@ class Compiled:
 
 
 def compile_fun(
-    fun: Fun, optimize: bool = True, passes: "Sequence[str] | None" = None
+    fun: Fun,
+    optimize: bool = True,
+    passes: "Sequence[str] | None" = None,
+    schedule=None,
 ) -> Compiled:
-    return Compiled(fun, optimize=optimize, passes=passes)
+    return Compiled(fun, optimize=optimize, passes=passes, schedule=schedule)

@@ -49,8 +49,8 @@ __all__ = [
     "perfect_map_nest",
     "OP_IDENTITY",
     "ne_is_identity",
-    "ShardSplit",
-    "shard_split",
+    "ParallelSplit",
+    "parallel_split",
     "StaticInfo",
     "infer_static_shapes",
     "ir_hash",
@@ -206,17 +206,20 @@ def _recognize_redomap(lam: Lambda) -> Optional[Tuple[str, Lambda]]:
 
 
 # ---------------------------------------------------------------------------
-# Shardability analysis
+# Parallel-directive legality + inference (the schedule IR's splitting pass)
 # ---------------------------------------------------------------------------
 
 
 @dataclass(frozen=True)
-class ShardSplit:
+class ParallelSplit:
     """A data-parallel decomposition of one ``Fun`` for the shard executor.
 
-    The function body is split around one *shard point* — the heaviest
+    This is the realisation of a ``parallel`` schedule directive
+    (``ir.schedule``): the split point is the statement carrying an explicit
+    ``Parallel`` directive when one exists, otherwise the heaviest legal
     top-level ``Map`` (no accumulators) or single-operand specialisable
-    ``Reduce``/redomap — into three derived functions:
+    ``Reduce``/redomap — the cost model's default schedule choice.  The
+    function body is split around that point into three derived functions:
 
     * ``prefix_fun``  — the statements before the shard point, evaluated once
       in the parent; its results (``prefix_fun.body.result``) carry every
@@ -243,6 +246,9 @@ class ShardSplit:
     * ``combine_op``/``ne_src`` — reduce kind only: the ufunc combining the
       chunk partials, and where the real neutral element lives (``("pre", j)``
       or ``("const", v)``; ``None`` when it is provably the identity).
+    * ``workers`` — worker count requested by an explicit ``parallel(w)``
+      directive (0 = use ``REPRO_SHARD_WORKERS``);
+    * ``schedule_str`` — the realised schedule, formatted, for obs spans.
     """
 
     kind: str  # "map" | "reduce"
@@ -257,20 +263,23 @@ class ShardSplit:
     out_src: Tuple[Tuple[str, int], ...]
     combine_op: Optional[str] = None
     ne_src: Optional[Tuple[str, object]] = None
+    workers: int = 0
+    schedule_str: str = ""
 
 
-def _shard_candidate(stm: Stm):
-    """``(kind, combine_op, chunk_exp, ne_atom)`` if ``stm`` is a shardable
-    SOAC, else None.
+def _parallel_candidate(stm: Stm):
+    """``(kind, combine_op, chunk_exp, ne_atom)`` if a ``parallel``
+    directive is legal on ``stm``, else None.
 
-    A ``Map`` is shardable when it has no accumulators (those carry
+    A ``Map`` is splittable when it has no accumulators (those carry
     cross-element state) and none of its input arrays is also read whole
     inside the lambda (slicing would change what the lambda sees).  A
-    ``Reduce`` is shardable when its operator is a recognised specialisable
+    ``Reduce`` is splittable when its operator is a recognised specialisable
     binop or redomap shape (associative, so chunk partials recombine) over a
     scalar float neutral element.  Scans, while-loops and data-dependent
     control flow at the top level are simply never candidates — the caller
-    falls back to the plan backend.
+    falls back to the plan backend.  (``ir.schedule.check_schedule`` applies
+    the same conditions when validating an explicit ``parallel`` directive.)
     """
     e = stm.exp
     if isinstance(e, Map):
@@ -304,20 +313,26 @@ def _shard_candidate(stm: Stm):
     return None
 
 
-def shard_split(fun: Fun, weigh=None) -> Optional[ShardSplit]:
-    """Decompose ``fun`` for sharded execution, or None if not shardable.
+def parallel_split(fun: Fun, weigh=None) -> Optional[ParallelSplit]:
+    """Realise the ``parallel`` schedule directive, or None when absent.
 
-    Scans the top-level statements for shardable SOACs (see
-    ``_shard_candidate``) and splits around the *heaviest* one — by default
-    weighed by the static cost model (``ir.cost_model.stm_work``: estimated
-    scalar work plus memory traffic, replacing the old recursive statement
-    count, which under-weighed statement-poor but traffic-heavy SOACs) —
-    so e.g. GMM shards its big per-point redomap rather than the tiny
+    A statement carrying an explicit ``Parallel`` directive (attached by
+    ``ir.schedule.apply_schedule``) wins the split point — the heaviest such
+    statement when several are annotated.  Otherwise the pass falls back to
+    *inferring* the default parallel schedule: the heaviest legal candidate
+    (see ``_parallel_candidate``), weighed by the static cost model
+    (``ir.cost_model.stm_work``: estimated scalar work plus memory traffic)
+    — so e.g. GMM shards its big per-point redomap rather than the tiny
     wishart reduce that happens to come later.  ``weigh`` substitutes a
     custom ``Stm -> float`` weigher.  Programs with no top-level parallel
     SOAC — scans, data-dependent loops, pure scalar code — return None and
     run unsharded.
+
+    The consumed ``Parallel`` directive is stripped from the chunk program
+    (the chunk runs the remaining inner schedule), and its worker request is
+    recorded on the split (``workers``) for the shard runtime to honour.
     """
+    from .schedule import Parallel, format_schedule
     from .traversal import free_vars, free_vars_exp
 
     if weigh is None:
@@ -326,17 +341,44 @@ def shard_split(fun: Fun, weigh=None) -> Optional[ShardSplit]:
     stms = fun.body.stms
     best = None
     best_w = -1.0
+    best_explicit = False
     for k, stm in enumerate(stms):
-        cand = _shard_candidate(stm)
+        cand = _parallel_candidate(stm)
         if cand is None:
             continue
+        explicit = any(
+            isinstance(d, Parallel)
+            for d in getattr(stm.exp, "schedule", ())
+        )
+        if best_explicit and not explicit:
+            continue
         w = float(weigh(stm))
-        if w >= best_w:  # ties -> later statement
-            best, best_w = (k, cand), w
+        if (explicit and not best_explicit) or w >= best_w:
+            # explicit directives outrank inference; ties -> later statement
+            best, best_w, best_explicit = (k, cand), w, explicit
     if best is None:
         return None
     k, (kind, op, chunk_exp, ne_atom) = best
     stm = stms[k]
+
+    # Consume the parallel directive: the chunk program runs whatever inner
+    # schedule remains, and the directive's worker request rides the split.
+    workers = 0
+    sched = tuple(getattr(chunk_exp, "schedule", ()))
+    if sched:
+        for d in sched:
+            if isinstance(d, Parallel):
+                workers = d.workers
+        inner = tuple(d for d in sched if not isinstance(d, Parallel))
+        chunk_exp = replace(chunk_exp, schedule=inner)
+    else:
+        from .schedule import Vectorized
+
+        sched = (Parallel(workers), Vectorized())
+    schedule_str = format_schedule(
+        sched if any(isinstance(d, Parallel) for d in sched)
+        else (Parallel(workers),) + sched
+    )
 
     # The prefix result tuple, grown on demand.
     pre_vars: list = []
@@ -392,7 +434,7 @@ def shard_split(fun: Fun, weigh=None) -> Optional[ShardSplit]:
     prefix_fun = Fun(
         fun.name + "_shard_pre", fun.params, Body(stms[:k], tuple(pre_vars))
     )
-    return ShardSplit(
+    return ParallelSplit(
         kind=kind,
         prefix_fun=prefix_fun,
         chunk_fun=chunk_fun,
@@ -405,6 +447,8 @@ def shard_split(fun: Fun, weigh=None) -> Optional[ShardSplit]:
         out_src=out_src,
         combine_op=op,
         ne_src=ne_src,
+        workers=workers,
+        schedule_str=schedule_str,
     )
 
 
@@ -901,6 +945,11 @@ def ir_hash(fun: Fun) -> str:
             atom(e.v)
         else:  # future node kinds: still deterministic, never silent
             feed(repr(e).encode())
+        sched = getattr(e, "schedule", ())
+        if sched:  # non-default schedules are distinct programs
+            from .schedule import schedule_key
+
+            feed(schedule_key(sched))
         feed(b";")
 
     def body(b: Body) -> None:

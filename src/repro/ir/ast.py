@@ -287,11 +287,19 @@ class Map:
       the accumulators as its *leading* results, followed by the per-element
       results.  The Map's own results are the final accumulators followed by
       the result arrays.
+
+    ``schedule`` is the node's axis schedule — an ordered tuple of directives
+    from ``ir.schedule`` (``Vectorized | Parallel | Sequential``).  Empty means
+    "use the default schedule" (see ``ir.schedule.default_schedule``).  The
+    field is trailing-with-default on every schedulable node so positional
+    rebuilds in the optimiser and AD reset it; schedules are applied *after*
+    optimisation (``Compiled.__init__``).
     """
 
     lam: Lambda
     arrs: Tuple[Var, ...]
     accs: Tuple[Var, ...] = ()
+    schedule: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -305,6 +313,7 @@ class Reduce:
     lam: Lambda
     nes: Tuple[Atom, ...]
     arrs: Tuple[Var, ...]
+    schedule: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -314,6 +323,7 @@ class Scan:
     lam: Lambda
     nes: Tuple[Atom, ...]
     arrs: Tuple[Var, ...]
+    schedule: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -331,6 +341,7 @@ class ReduceByIndex:
     nes: Tuple[Atom, ...]
     inds: Var
     vals: Tuple[Var, ...]
+    schedule: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -345,6 +356,7 @@ class Scatter:
     dest: Var
     inds: Var
     vals: Var
+    schedule: tuple = ()
 
 
 # ---------------------------------------------------------------------------
@@ -365,6 +377,10 @@ class Loop:
       iteration, Fig. 3) or ``"entry"`` (§6.2: loop-variant arrays free of
       false dependencies are saved once at loop entry and restored before the
       return sweep).
+
+    ``stripmine=f`` is sugar for the schedule ``sequential(f)·sequential``:
+    ``ir.schedule.apply_schedule`` converts a chunked sequential directive on
+    a Loop into this annotation, which ``opt.stripmine`` then realises.
     """
 
     params: Tuple[Var, ...]
@@ -374,6 +390,7 @@ class Loop:
     body: "Body"
     stripmine: int = 0
     checkpoint: str = "iters"
+    schedule: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -390,6 +407,7 @@ class WhileLoop:
     cond: "Lambda"
     body: "Body"
     bound: Optional[Atom] = None
+    schedule: tuple = ()
 
 
 @dataclass(frozen=True)

@@ -91,6 +91,10 @@ __all__ = [
     "soac_estimates",
     "stm_work",
     "soac_elem_cost",
+    "schedule_candidates",
+    "score_schedule",
+    "choose_schedule",
+    "PARALLEL_TASK_OVERHEAD",
     "fusion_wins",
     "count_fold_opportunities",
     "promotion_threshold",
@@ -487,6 +491,91 @@ def soac_elem_cost(e: Exp) -> Optional[float]:
     # array and writing one result element.
     per = inner.work + inner.mem + len(arrs) + 1.0
     return max(1.0, per)
+
+
+# ---------------------------------------------------------------------------
+# Decision 0: schedule selection (ir/schedule.py, exec/shard.py, A10)
+# ---------------------------------------------------------------------------
+
+
+#: Fixed cost charged per shard pool task: a plan-cache lookup, a future,
+#: and the result hand-back.  Scaled in the same work+traffic units as
+#: ``Estimate.total`` so ``score_schedule`` can trade it against the
+#: parallel speedup.
+PARALLEL_TASK_OVERHEAD = 256.0
+
+
+def schedule_candidates(stm: Stm):
+    """The legal candidate schedules for one statement, default first."""
+    from .schedule import (
+        Parallel,
+        SCHEDULABLE,
+        Sequential,
+        Vectorized,
+        check_schedule,
+        default_schedule,
+    )
+
+    e = stm.exp
+    if not isinstance(e, SCHEDULABLE):
+        return ()
+    cands = [default_schedule(e)]
+    for sched in (
+        (Parallel(), Vectorized()),
+        (Sequential(default_extent()), Vectorized()),
+        (Sequential(),),
+    ):
+        if sched in cands:
+            continue
+        if check_schedule(e, sched, n_pat=len(stm.pat)) is None:
+            cands.append(sched)
+    return tuple(cands)
+
+
+def score_schedule(
+    stm: Stm, sched, workers: Optional[int] = None,
+    model: Optional[CostModel] = None,
+) -> float:
+    """Predicted cost (work+traffic units) of running ``stm`` under
+    ``sched``.  Mirrors the shard runtime's own chunking: a ``parallel``
+    directive splits the estimated total into ``task_grain()``-sized tasks
+    (never more than the dispatch cap) and charges each task its pool
+    overhead; a chunked ``sequential`` directive charges one extra SOAC
+    launch per chunk.  Lower is better."""
+    import os as _os
+
+    from .schedule import Parallel, Sequential, _as_schedule
+
+    total = estimate_stm(stm, model).total
+    score = float(total)
+    for d in _as_schedule(sched):
+        if isinstance(d, Parallel):
+            w = d.workers or workers or (_os.cpu_count() or 1)
+            ntasks = max(1, min(int(total // task_grain()), 16))
+            if ntasks <= 1:
+                # Too small to split: the probe itself is pure overhead.
+                score += PARALLEL_TASK_OVERHEAD
+            else:
+                score = (score / max(1, min(w, ntasks))
+                         + ntasks * PARALLEL_TASK_OVERHEAD)
+        elif isinstance(d, Sequential) and d.chunk > 1:
+            score += SOAC_OVERHEAD * max(
+                1.0, default_extent() / float(d.chunk)
+            )
+    return score
+
+
+def choose_schedule(
+    stm: Stm, workers: Optional[int] = None,
+    model: Optional[CostModel] = None,
+):
+    """The cost model's schedule pick for one statement: the cheapest legal
+    candidate under ``score_schedule``.  This is what the shard runtime's
+    split inference and ablation A10's per-row 'chosen' column report."""
+    cands = schedule_candidates(stm)
+    if not cands:
+        return ()
+    return min(cands, key=lambda s: score_schedule(stm, s, workers, model))
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,409 @@
+"""First-class schedule IR for SOAC and loop statements.
+
+A *schedule* is an ordered tuple of axis directives describing how the
+leading axis of a SOAC (or the trip axis of a loop) is executed, outermost
+directive first:
+
+* ``vectorized``      — one bulk NumPy evaluation over the axis;
+* ``parallel(w)``     — split the axis across ``w`` pool workers (0 = use
+  ``REPRO_SHARD_WORKERS``); realised only by the shard runtime, a no-op on
+  single-process backends, which is what keeps every legal schedule
+  bitwise-identical to the default;
+* ``sequential(c)``   — run the axis in order, ``c`` elements per step
+  (0 = one at a time / plain sequential).  On a ``Loop`` a chunked
+  sequential directive is sugar for the paper's §4.3 strip-mining
+  annotation (``stripmine=c``); on a ``Map`` it lowers to an explicit
+  chunk loop in plan IR.
+
+The paper's strip-mine annotation, the shard backend's split point and the
+batched multi-seed axis are all instances of this algebra; this module is
+the one place that names it.  Schedules are *descriptions*: every directive
+is realised by exactly one layer (vectorized → bulk emitters, sequential →
+stripmine pass / chunked map lowering, parallel → shard runtime), and each
+realisation is constructed to be bitwise-identical to the default bulk
+execution — slicing an elementwise map is exact, and the shard chunk
+grid is worker-count independent.
+
+Legality is structural plus per-node:
+
+* at most one ``parallel`` directive, and it must be outermost;
+* at most one ``vectorized`` directive, and it must be innermost;
+* ``Loop``: only ``sequential`` directives (the trip axis is
+  loop-carried); ``WhileLoop``: only *unchunked* ``sequential`` (the trip
+  count is data-dependent, so there is no axis to split);
+* ``Map`` with accumulators: no splitting directives (accumulators thread
+  sequentially through every element);
+* ``Reduce``: ``parallel`` only for single-result reductions with a
+  recognised associative operator and a scalar float neutral element (the
+  conditions under which a tree combine is exact enough to reproduce);
+* ``Scan``/``ReduceByIndex``/``Scatter``: no ``parallel`` and no chunked
+  ``sequential`` (prefix dependence / bin conflicts / overlapping writes).
+
+``apply_schedule`` attaches a schedule to a function after optimisation:
+strict mode (the ``schedule=`` keyword on ``compile``/``grad``) targets the
+dominant schedulable statement and raises ``ScheduleError`` naming the
+offending directive when illegal; lenient mode (``REPRO_SCHEDULE``)
+annotates every top-level statement where the schedule is legal and skips
+the rest.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple, Union
+
+from .ast import (
+    Body,
+    Fun,
+    Loop,
+    Map,
+    Reduce,
+    ReduceByIndex,
+    Scan,
+    Scatter,
+    Stm,
+    WhileLoop,
+)
+
+__all__ = [
+    "Directive",
+    "Parallel",
+    "SCHEDULABLE",
+    "ScheduleError",
+    "Sequential",
+    "Vectorized",
+    "apply_env_schedule",
+    "apply_schedule",
+    "check_schedule",
+    "default_schedule",
+    "env_schedule",
+    "format_schedule",
+    "parse_schedule",
+    "schedule_key",
+    "schedule_str",
+]
+
+
+class ScheduleError(ValueError):
+    """An illegal or unparsable schedule; the message names the directive."""
+
+
+@dataclass(frozen=True)
+class Vectorized:
+    """Bulk NumPy evaluation of the whole axis (the default for SOACs)."""
+
+
+@dataclass(frozen=True)
+class Parallel:
+    """Split the axis across pool workers; 0 = ``REPRO_SHARD_WORKERS``."""
+
+    workers: int = 0
+
+
+@dataclass(frozen=True)
+class Sequential:
+    """In-order execution, ``chunk`` elements per step (0 = one at a time)."""
+
+    chunk: int = 0
+
+
+Directive = Union[Vectorized, Parallel, Sequential]
+
+#: Expression classes that carry a ``schedule`` field.
+SCHEDULABLE = (Map, Reduce, Scan, ReduceByIndex, Scatter, Loop, WhileLoop)
+
+_DIRECTIVE_RE = re.compile(
+    r"^(vectorized|parallel|sequential)(?:\((\d+)\))?$"
+)
+
+
+# ---------------------------------------------------------------------------
+# Parsing / formatting / hashing
+# ---------------------------------------------------------------------------
+
+
+def format_directive(d: Directive) -> str:
+    if isinstance(d, Vectorized):
+        return "vectorized"
+    if isinstance(d, Parallel):
+        return f"parallel({d.workers})" if d.workers else "parallel"
+    if isinstance(d, Sequential):
+        return f"sequential({d.chunk})" if d.chunk else "sequential"
+    raise ScheduleError(f"not a schedule directive: {d!r}")
+
+
+def format_schedule(sched: Tuple[Directive, ...]) -> str:
+    """Render a schedule as ``dir·dir·dir`` (empty schedule → '')."""
+    return "·".join(format_directive(d) for d in sched)
+
+
+def parse_schedule(text: str) -> Tuple[Directive, ...]:
+    """Parse ``"parallel(2)·sequential(64)·vectorized"``.
+
+    Directives may be separated by ``·``, ``*``, ``;``, ``,`` or whitespace.
+    Raises ``ScheduleError`` on junk, naming the offending token.
+    """
+    toks = [t for t in re.split(r"[·*;,\s]+", text.strip()) if t]
+    sched = []
+    for tok in toks:
+        m = _DIRECTIVE_RE.match(tok)
+        if m is None:
+            raise ScheduleError(
+                f"cannot parse schedule directive {tok!r} "
+                "(expected vectorized | parallel[(w)] | sequential[(c)])"
+            )
+        name, arg = m.group(1), m.group(2)
+        if name == "vectorized":
+            if arg is not None:
+                raise ScheduleError(
+                    f"directive {tok!r}: vectorized takes no argument"
+                )
+            sched.append(Vectorized())
+        elif name == "parallel":
+            sched.append(Parallel(int(arg) if arg else 0))
+        else:
+            sched.append(Sequential(int(arg) if arg else 0))
+    return tuple(sched)
+
+
+def _as_schedule(schedule) -> Tuple[Directive, ...]:
+    if isinstance(schedule, str):
+        return parse_schedule(schedule)
+    sched = tuple(schedule)
+    for d in sched:
+        if not isinstance(d, (Vectorized, Parallel, Sequential)):
+            raise ScheduleError(f"not a schedule directive: {d!r}")
+    return sched
+
+
+def schedule_key(sched: Tuple[Directive, ...]) -> bytes:
+    """Stable bytes for ``ir_hash`` — distinct programs per schedule."""
+    parts = []
+    for d in sched:
+        if isinstance(d, Vectorized):
+            parts.append("v")
+        elif isinstance(d, Parallel):
+            parts.append(f"p{d.workers}")
+        else:
+            parts.append(f"s{d.chunk}")
+    return ("sched[" + ",".join(parts) + "]").encode()
+
+
+# ---------------------------------------------------------------------------
+# Defaults
+# ---------------------------------------------------------------------------
+
+
+def default_schedule(e) -> Tuple[Directive, ...]:
+    """The schedule a node executes under when none is attached."""
+    if isinstance(e, Loop):
+        if e.stripmine > 1:
+            return (Sequential(e.stripmine), Sequential())
+        return (Sequential(),)
+    if isinstance(e, WhileLoop):
+        return (Sequential(),)
+    if isinstance(e, SCHEDULABLE):
+        return (Vectorized(),)
+    return ()
+
+
+def schedule_str(e) -> str:
+    """The *active* schedule of a node, formatted (attached or default)."""
+    sched = getattr(e, "schedule", ()) or default_schedule(e)
+    return format_schedule(sched)
+
+
+# ---------------------------------------------------------------------------
+# Legality
+# ---------------------------------------------------------------------------
+
+
+def _reduce_parallel_ok(e: Reduce, n_pat: Optional[int]) -> Optional[str]:
+    from .analysis import recognize_binop_lambda, recognize_redomap_lambda
+    from .types import is_float, rank_of
+
+    if len(e.nes) != 1 or (n_pat is not None and n_pat != 1):
+        return "parallel: only single-result reductions tree-combine exactly"
+    if not e.arrs:
+        return "parallel: reduce over no arrays has no axis to split"
+    ne = e.nes[0]
+    if not (is_float(ne.type) and rank_of(ne.type) == 0):
+        return "parallel: reduce needs a scalar float neutral element"
+    op = recognize_binop_lambda(e.lam)
+    if op is None:
+        rm = recognize_redomap_lambda(e.lam)
+        if rm is None:
+            return ("parallel: reduce operator is not a recognised "
+                    "associative binop/redomap")
+    return _arrs_not_free(e)
+
+
+def _arrs_not_free(e) -> Optional[str]:
+    from .traversal import free_vars
+
+    free = free_vars(e.lam)
+    for a in e.arrs:
+        if a.name in free:
+            return (f"parallel: lambda reads the whole input {a.name!r}, "
+                    "so the axis cannot be split")
+    return None
+
+
+def check_schedule(e, sched, n_pat: Optional[int] = None) -> Optional[str]:
+    """Return None when ``sched`` is legal for node ``e``, else the reason.
+
+    The reason string always names the offending directive.  ``n_pat`` is
+    the binding statement's pattern arity when known (reduce legality).
+    """
+    sched = _as_schedule(sched)
+    if not sched:
+        return None
+    if not isinstance(e, SCHEDULABLE):
+        return (f"{format_directive(sched[0])}: {type(e).__name__} "
+                "statements carry no schedule")
+    n_par = sum(isinstance(d, Parallel) for d in sched)
+    n_vec = sum(isinstance(d, Vectorized) for d in sched)
+    if n_par > 1:
+        return "parallel: at most one parallel directive per schedule"
+    if n_par and not isinstance(sched[0], Parallel):
+        return "parallel: the parallel directive must be outermost"
+    if n_vec > 1:
+        return "vectorized: at most one vectorized directive per schedule"
+    if n_vec and not isinstance(sched[-1], Vectorized):
+        return "vectorized: the vectorized directive must be innermost"
+
+    if isinstance(e, WhileLoop):
+        for d in sched:
+            if not (isinstance(d, Sequential) and d.chunk == 0):
+                return (f"{format_directive(d)}: a while loop's trip count "
+                        "is data-dependent — only bare 'sequential' is legal")
+        return None
+    if isinstance(e, Loop):
+        for d in sched:
+            if not isinstance(d, Sequential):
+                return (f"{format_directive(d)}: loop iterations are "
+                        "loop-carried — only 'sequential' directives are "
+                        "legal (sequential(f)·sequential strip-mines)")
+        # A chunked sequential must be the explicit strip-mine sugar —
+        # the outer of a sequential(f)·sequential pair — never a blanket
+        # (lenient) chunk directive silently restructuring checkpoints.
+        if any(isinstance(d, Sequential) and d.chunk > 1 for d in sched):
+            if not (len(sched) >= 2
+                    and sched[-1] == Sequential()
+                    and all(d.chunk > 1 for d in sched[:-1])):
+                return (f"{format_directive(sched[0])}: chunking a loop "
+                        "is strip-mining — write the explicit "
+                        "'sequential(f)·sequential' form")
+        return None
+
+    splitting = [d for d in sched
+                 if isinstance(d, Parallel)
+                 or (isinstance(d, Sequential) and d.chunk > 1)]
+    if isinstance(e, Map):
+        if e.accs and splitting:
+            return (f"{format_directive(splitting[0])}: map carries "
+                    "accumulators, which thread sequentially through every "
+                    "element")
+        if n_par:
+            if not e.arrs:
+                return "parallel: map over no arrays has no axis to split"
+            err = _arrs_not_free(e)
+            if err:
+                return err
+        return None
+    if isinstance(e, Reduce):
+        for d in sched:
+            if isinstance(d, Sequential) and d.chunk > 1:
+                return (f"{format_directive(d)}: chunked sequential "
+                        "reduction is not implemented — use bare "
+                        "'sequential'")
+        if n_par:
+            return _reduce_parallel_ok(e, n_pat)
+        return None
+    # Scan / ReduceByIndex / Scatter: order- or conflict-sensitive.
+    why = {
+        Scan: "a scan's prefix dependence crosses any split point",
+        ReduceByIndex: "histogram bins conflict across any split point",
+        Scatter: "scatter writes may collide across any split point",
+    }[type(e)]
+    for d in splitting:
+        return f"{format_directive(d)}: {why}"
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Application
+# ---------------------------------------------------------------------------
+
+
+def _annotate(e, sched: Tuple[Directive, ...]):
+    if isinstance(e, Loop):
+        f = next((d.chunk for d in sched
+                  if isinstance(d, Sequential) and d.chunk > 1), 0)
+        if f > 1:
+            return replace(e, stripmine=f, schedule=sched)
+    return replace(e, schedule=sched)
+
+
+def apply_schedule(fun: Fun, schedule, strict: bool = True) -> Fun:
+    """Return ``fun`` with ``schedule`` attached to top-level statements.
+
+    Strict mode targets the dominant (largest estimated work) schedulable
+    statement and raises ``ScheduleError`` if the schedule is illegal for
+    it.  Lenient mode annotates every top-level statement for which the
+    schedule is legal, silently skipping the rest (this is the
+    ``REPRO_SCHEDULE`` semantics, so a blanket override never breaks a
+    program that contains e.g. a data-dependent while loop).
+    """
+    sched = _as_schedule(schedule)
+    if not sched:
+        return fun
+    stms = list(fun.body.stms)
+    if strict:
+        from .cost_model import stm_work
+
+        idxs = [i for i, s in enumerate(stms)
+                if isinstance(s.exp, SCHEDULABLE)]
+        if not idxs:
+            raise ScheduleError(
+                f"{fun.name}: no schedulable (SOAC/loop) statement to "
+                f"attach schedule '{format_schedule(sched)}' to"
+            )
+        k = max(idxs, key=lambda i: (stm_work(stms[i]), i))
+        err = check_schedule(stms[k].exp, sched, n_pat=len(stms[k].pat))
+        if err is not None:
+            raise ScheduleError(
+                f"{fun.name}: schedule '{format_schedule(sched)}' is "
+                f"illegal for the dominant "
+                f"{type(stms[k].exp).__name__.lower()} statement — {err}"
+            )
+        stms[k] = Stm(stms[k].pat, _annotate(stms[k].exp, sched))
+    else:
+        changed = False
+        for i, s in enumerate(stms):
+            if (isinstance(s.exp, SCHEDULABLE)
+                    and check_schedule(s.exp, sched,
+                                       n_pat=len(s.pat)) is None):
+                stms[i] = Stm(s.pat, _annotate(s.exp, sched))
+                changed = True
+        if not changed:
+            return fun
+    return Fun(fun.name, fun.params, Body(tuple(stms), fun.body.result))
+
+
+def env_schedule() -> Optional[Tuple[Directive, ...]]:
+    """The ``REPRO_SCHEDULE`` override, parsed (None when unset/empty)."""
+    v = os.environ.get("REPRO_SCHEDULE", "").strip()
+    if not v:
+        return None
+    return parse_schedule(v)
+
+
+def apply_env_schedule(fun: Fun) -> Fun:
+    """Apply ``REPRO_SCHEDULE`` leniently; identity when unset."""
+    sched = env_schedule()
+    if not sched:
+        return fun
+    return apply_schedule(fun, sched, strict=False)

@@ -58,13 +58,15 @@ RANK_SEPARATION = 4.0
 
 
 class _Rec:
-    __slots__ = ("label", "kind", "prov", "fun", "calls", "seconds")
+    __slots__ = ("label", "kind", "prov", "fun", "schedule", "calls", "seconds")
 
-    def __init__(self, label: str, kind: str, prov: tuple, fun: str):
+    def __init__(self, label: str, kind: str, prov: tuple, fun: str,
+                 schedule: str = ""):
         self.label = label
         self.kind = kind
         self.prov = prov
         self.fun = fun
+        self.schedule = schedule
         self.calls = 0
         self.seconds = 0.0
 
@@ -90,7 +92,8 @@ def _label_of(prov: tuple, kind: str) -> str:
     return f"run[{len(prov)}] {first}..{last}"
 
 
-def _wrap(closure, key: tuple, label: str, kind: str, prov: tuple, fun: str):
+def _wrap(closure, key: tuple, label: str, kind: str, prov: tuple, fun: str,
+          schedule: str = ""):
     """Time one instruction closure; the record is resolved per call so
     accumulation survives ``reset_profile`` on cached plans."""
 
@@ -103,7 +106,7 @@ def _wrap(closure, key: tuple, label: str, kind: str, prov: tuple, fun: str):
             with _PLOCK:
                 rec = _DATA.get(key)
                 if rec is None:
-                    rec = _DATA[key] = _Rec(label, kind, prov, fun)
+                    rec = _DATA[key] = _Rec(label, kind, prov, fun, schedule)
                 rec.calls += 1
                 rec.seconds += dt
 
@@ -133,6 +136,7 @@ class ProfilePlan(Plan):
                 ins.kind,
                 ins.prov,
                 fun.name,
+                ins.schedule,
             )
             for i, (c, ins) in enumerate(zip(instrs, ir.body.instrs))
         )
@@ -173,15 +177,18 @@ def profile_report(top_k: int = 10) -> Dict[str, Any]:
     """
     with _PLOCK:
         recs = sorted(_DATA.values(), key=lambda r: r.seconds, reverse=True)
-        recs = [(r.label, r.kind, r.prov, r.fun, r.calls, r.seconds) for r in recs]
+        recs = [
+            (r.label, r.kind, r.prov, r.fun, r.schedule, r.calls, r.seconds)
+            for r in recs
+        ]
     total = sum(sec for *_, sec in recs)
     by_kind: Dict[str, float] = {}
-    for _, kind, _, _, _, sec in recs:
+    for _, kind, _, _, _, _, sec in recs:
         by_kind[kind] = by_kind.get(kind, 0.0) + sec
 
     entries: List[Dict[str, Any]] = []
     ests: List[Optional[float]] = []
-    for label, kind, prov, fun, calls, sec in recs[: max(top_k, 0)]:
+    for label, kind, prov, fun, schedule, calls, sec in recs[: max(top_k, 0)]:
         est = estimate_stms(prov).total if prov else None
         ests.append(est)
         entries.append(
@@ -189,6 +196,7 @@ def profile_report(top_k: int = 10) -> Dict[str, Any]:
                 "label": label,
                 "fun": fun,
                 "kind": kind,
+                "schedule": schedule,
                 "calls": calls,
                 "seconds": sec,
                 "share": (sec / total) if total else 0.0,
@@ -247,10 +255,11 @@ def format_profile_report(report: Optional[Dict[str, Any]] = None, top_k: int = 
         est = f"{e['est_work']:.3g}" if e["est_work"] is not None else "-"
         erk = str(e["est_rank"]) if e["est_rank"] is not None else "-"
         flag = "!" if e["mispredicted"] else ""
+        sched = f" [{e['schedule']}]" if e.get("schedule") else ""
         lines.append(
             f"{e['measured_rank']:2d} {e['seconds']:9.4f} "
             f"{100 * e['share']:5.1f}% {e['calls']:7d} {est:>10s} {erk:>4s} "
-            f"{flag:2s} {e['fun']}: {e['label']}"
+            f"{flag:2s} {e['fun']}: {e['label']}{sched}"
         )
     if rep["by_kind"]:
         top = sorted(rep["by_kind"].items(), key=lambda kv: kv[1], reverse=True)

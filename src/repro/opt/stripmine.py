@@ -1,10 +1,14 @@
-"""Loop strip-mining (paper §4.3) — the practical time–space trade-off.
+"""The ``sequential``-directive rewriter: loop strip-mining (paper §4.3).
 
-A loop annotated ``stripmine=f`` is split before reverse AD into an outer
-loop of ⌈n/f⌉ iterations and an inner loop of ``f`` iterations, the body
-guarded by ``i < n``.  Reverse AD then checkpoints each of the two loops
-separately: memory drops from O(n) to O(⌈n/f⌉ + f) loop-variant snapshots
-while the forward sweep of the inner loop is re-executed once more (Fig. 4's
+In schedule-IR terms (``ir.schedule``) a loop scheduled
+``sequential(f)·sequential`` executes its trip axis as an outer loop of
+⌈n/f⌉ steps around an inner loop of ``f`` steps; the legacy ``stripmine=f``
+annotation is sugar for exactly that schedule, and ``apply_schedule``
+converts between the two.  This pass realises the directive: the loop is
+split before reverse AD into the outer/inner pair, the body guarded by
+``i < n``.  Reverse AD then checkpoints each of the two loops separately:
+memory drops from O(n) to O(⌈n/f⌉ + f) loop-variant snapshots while the
+forward sweep of the inner loop is re-executed once more (Fig. 4's
 re-execution factor grows from 2× to (k+2)× for k levels of strip-mining).
 Nesting annotations (strip-mining the produced outer loop again) gives the
 k-level trade-off; with f ≈ ⁿ√m per level this approaches the logarithmic
@@ -36,8 +40,21 @@ from ..util import fresh
 __all__ = ["stripmine_fun", "stripmine_body"]
 
 
+def _loop_factor(e: Loop) -> int:
+    """The strip-mine factor: the ``stripmine`` annotation, or the chunk of
+    a ``sequential(f)`` schedule directive not yet converted to it."""
+    if e.stripmine > 1:
+        return e.stripmine
+    from ..ir.schedule import Sequential
+
+    for d in e.schedule:
+        if isinstance(d, Sequential) and d.chunk > 1:
+            return d.chunk
+    return 0
+
+
 def _rewrite_loop(stm: Stm, e: Loop, b: Builder) -> None:
-    f = e.stripmine
+    f = _loop_factor(e)
     fa = const(f, I64)
     one = const(1, I64)
     npf = b.add(e.n, b.sub(fa, one, "fm1"), "npf")
@@ -96,7 +113,7 @@ def stripmine_body(body: Body) -> Body:
     b = Builder()
     for stm in body.stms:
         e = _rw_exp(stm.exp)
-        if isinstance(e, Loop) and e.stripmine > 1:
+        if isinstance(e, Loop) and _loop_factor(e) > 1:
             _rewrite_loop(stm, e, b)
         else:
             b.emit_into(stm.pat, e)

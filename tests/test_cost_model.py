@@ -13,7 +13,7 @@ from repro.exec.cost import CostRecorder
 from repro.exec.interp import RefInterp
 from repro.exec.plan import clear_plan_cache, plan_cache_stats
 from repro.exec.shard import _chunk_bounds, _edges
-from repro.ir.analysis import shard_split
+from repro.ir.analysis import parallel_split
 from repro.ir.cost_model import (
     CostModel,
     Estimate,
@@ -161,7 +161,7 @@ def test_guided_fusion_results_bitwise_equal_monotone(monkeypatch):
 # ---------------------------------------------------------------------------
 
 
-def test_shard_split_weighs_by_estimated_work():
+def test_parallel_split_weighs_by_estimated_work():
     # A statement-poor but extent/traffic-heavy map vs a statement-heavy
     # scalar-cheap one: the default (cost model) weigher must still pick a
     # shard point, and custom weighers are honoured.
@@ -171,14 +171,14 @@ def test_shard_split_weighs_by_estimated_work():
         return b
 
     fun = rp.trace_like(f, (np.ones(4), np.ones(64)))
-    split = shard_split(fun)  # default: ir.cost_model.stm_work
+    split = parallel_split(fun)  # default: ir.cost_model.stm_work
     assert split is not None and split.kind == "map"
     # the heavy map has more estimated work than the small reduce
     weights = [stm_work(s) for s in fun.body.stms]
     assert max(weights) == weights[-1]
     # a custom weigher that prefers the *first* candidate flips the choice
     # to an earlier shard point (fewer statements in the prefix function)
-    flipped = shard_split(fun, weigh=lambda s: -fun.body.stms.index(s))
+    flipped = parallel_split(fun, weigh=lambda s: -fun.body.stms.index(s))
     assert flipped is not None
     assert len(flipped.prefix_fun.body.stms) < len(split.prefix_fun.body.stms)
 

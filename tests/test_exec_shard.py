@@ -21,7 +21,7 @@ from repro.exec.shard import (
     shard_stats,
     shutdown_shard_pool,
 )
-from repro.ir.analysis import shard_split
+from repro.ir.analysis import parallel_split
 from repro.util import ReproError
 
 from helpers import run_both
@@ -95,40 +95,40 @@ def test_unknown_backend_errors_list_registered_set():
 # ---------------------------------------------------------------------------
 
 
-def test_shard_split_top_level_map_is_map_kind():
+def test_parallel_split_top_level_map_is_map_kind():
     fun = rp.compile(ba.build_ir(32)).fun
-    split = shard_split(fun)
+    split = parallel_split(fun)
     assert split is not None and split.kind == "map"
     # all three residual arrays come straight off the sharded map
     assert split.n_outs == 3 and split.suffix_fun is None
 
 
-def test_shard_split_gmm_is_reduce_kind():
+def test_parallel_split_gmm_is_reduce_kind():
     fun = rp.compile(gmm.build_ir(48, 4, 4)).fun
-    split = shard_split(fun)
+    split = parallel_split(fun)
     assert split is not None and split.kind == "reduce"
     assert split.combine_op == "add"
     # the scalar epilogue (wishart, lse_alphas, constants) runs as a suffix
     assert split.suffix_fun is not None
 
 
-def test_shard_split_rejects_scan_and_loops():
+def test_parallel_split_rejects_scan_and_loops():
     scan_fun = rp.trace_like(lambda xs: rp.scan(lambda a, b: a + b, 0.0, xs), (np.ones(8),))
-    assert shard_split(scan_fun) is None
+    assert parallel_split(scan_fun) is None
     loop_fun = rp.trace_like(
         lambda x: rp.fori_loop(5, lambda i, a: a * 1.1 + x, x), (1.0,)
     )
-    assert shard_split(loop_fun) is None
+    assert parallel_split(loop_fun) is None
 
 
-def test_shard_split_rejects_map_reading_its_own_input_whole():
+def test_parallel_split_rejects_map_reading_its_own_input_whole():
     # The lambda reads xs[0] while xs is also the mapped array: slicing the
     # array would change what the lambda sees, so this must not shard.
     fun = rp.trace_like(lambda xs: rp.map(lambda x: x + xs[0], xs), (np.ones(8),))
-    assert shard_split(fun) is None
+    assert parallel_split(fun) is None
 
 
-def test_shard_split_picks_the_heaviest_soac():
+def test_parallel_split_picks_the_heaviest_soac():
     # A cheap map over `small` followed by a heavy map over `big`: the shard
     # point must be the heavy one even though both are candidates.
     def f(small, big):
@@ -137,7 +137,7 @@ def test_shard_split_picks_the_heaviest_soac():
         return b
 
     fun = rp.trace_like(f, (np.ones(4), np.ones(64)))
-    split = shard_split(fun)
+    split = parallel_split(fun)
     assert split is not None and split.kind == "map"
     # the sharded inputs have the extent of `big`, not `small`
     pre = rp.compile(split.prefix_fun, optimize=False)
