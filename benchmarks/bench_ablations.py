@@ -631,6 +631,38 @@ def test_ablation_a9_codegen(benchmark):
     tp, tc = times["gmm_grad"]
     assert tc <= tp * 1.15, (tc, tp)
 
+    # Verification-cost guard: every REPRO_VERIFY layer runs at *compile*
+    # time, so hot cached-plan calls must be unaffected by the knob — the
+    # verify counters stand still across the timed region, and wall clock
+    # with boundary checking on stays within 2% of verification disabled
+    # (plus a small absolute slack: these calls are sub-millisecond).
+    from repro.ir.verify import VERIFY_STATS
+
+    def run_hot():
+        return fc_fori(*fori_args, backend="codegen")
+
+    env0 = os.environ.get("REPRO_VERIFY")
+    try:
+        run_hot()  # plan cache is hot from the timings above
+        c0 = None
+        t_off = t_bnd = float("inf")
+        # Interleave the two modes and compare minima: min-of-rounds is
+        # robust to machine drift where one median block vs another is not.
+        for _ in range(3):
+            os.environ["REPRO_VERIFY"] = "off"
+            t_off = min(t_off, timeit(run_hot, repeats=7))
+            os.environ["REPRO_VERIFY"] = "boundary"
+            if c0 is None:
+                c0 = dict(VERIFY_STATS)
+            t_bnd = min(t_bnd, timeit(run_hot, repeats=7))
+        assert dict(VERIFY_STATS) == c0, "verifier ran on a cached-plan call"
+        assert t_bnd <= t_off * 1.02 + 2e-4, (t_bnd, t_off)
+    finally:
+        if env0 is None:
+            os.environ.pop("REPRO_VERIFY", None)
+        else:
+            os.environ["REPRO_VERIFY"] = env0
+
 
 # --- A10: execution schedules (cost-model default vs forced overrides) ----------
 

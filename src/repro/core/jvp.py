@@ -57,6 +57,7 @@ from ..ir.ast import (
 )
 from ..ir.builder import Builder, const
 from ..ir.typecheck import check_fun
+from ..ir.validate import validate_fun
 from ..ir.types import elem_type, is_float
 from ..util import ADError, fresh
 from .rules_scalar import binop_partials, unop_partial
@@ -552,4 +553,7 @@ def jvp_fun(fun: Fun, check: bool = True) -> Fun:
     out = Fun(fun.name + "_jvp", tuple(fun.params) + tuple(dparams), body)
     if check:
         check_fun(out)
-    return out
+        validate_fun(out)
+    from ..ir.verify import maybe_verify_fun
+
+    return maybe_verify_fun(out, where="jvp")

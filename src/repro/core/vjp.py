@@ -60,6 +60,7 @@ from ..ir.ast import (
 from ..ir.builder import Builder, const, const_like
 from ..ir.traversal import free_vars
 from ..ir.typecheck import check_fun
+from ..ir.validate import validate_fun
 from ..ir.types import elem_type, is_float, rank_of
 from ..util import ADError, fresh
 from .adjoint import AdjScope
@@ -367,4 +368,7 @@ def vjp_fun(fun: Fun, check: bool = True, wrt=None) -> Fun:
     out = Fun(fun.name + "_vjp", tuple(fun.params) + tuple(seed_params), body)
     if check:
         check_fun(out)
-    return out
+        validate_fun(out)
+    from ..ir.verify import maybe_verify_fun
+
+    return maybe_verify_fun(out, where="vjp")

@@ -1042,6 +1042,12 @@ class CodegenPlan:
             #: worker needs to recompile the plan (``codegen_payload``).
             self.consts = tuple(em.consts)
             self.schedule_str = plan_schedules(ir)
+        # Layer-2 codegen sanity (ir/verify knob): the rendered module must
+        # parse and reference nothing beyond the injected namespace.  Once
+        # per compile; cached plans never re-check.
+        from .verify_plan import maybe_verify_codegen_source
+
+        maybe_verify_codegen_source(fun.name, src, ns)
         with _obs_tracing.timed("compile", cat="compile", fun=fun.name, emitter="codegen") as tcc:
             code = compile(src, f"<codegen:{fun.name}>", "exec")
             exec(code, ns)

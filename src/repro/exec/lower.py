@@ -759,8 +759,13 @@ def lower_fun(fun: Fun, static: Optional[StaticInfo] = None) -> PlanIR:
         param_slots = tuple(lo.slot(p.name) for p in fun.params)
         param_types = tuple(p.type for p in fun.params)
         body = lo.lower_body(fun.body)
-        return PlanIR(fun, param_slots, param_types, body, len(lo.slots),
-                      lo.fused, lo.folds, static is not None)
+        ir = PlanIR(fun, param_slots, param_types, body, len(lo.slots),
+                    lo.fused, lo.folds, static is not None)
+    # Layer-2 verification happens here, once per lowering — cached plans
+    # (exec/plan.py) reuse the verified PlanIR and never re-check.
+    from .verify_plan import maybe_verify_plan_ir
+
+    return maybe_verify_plan_ir(ir)
 
 
 def spec_signature(args: Sequence[object], batched=None):

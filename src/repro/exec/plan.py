@@ -1488,12 +1488,22 @@ def plan_cache_stats() -> Dict[str, object]:
     """A snapshot of the cache counters plus the current entry counts
     (``entries`` — generic tier, ``specialized_entries`` — specialised) and
     the per-emitter construction breakdown (``emitters``)."""
+    from ..ir.verify import verify_mode, VERIFY_STATS
+
     with _LOCK:
         return {
             **PLAN_STATS,
             "entries": len(_GENERIC),
             "specialized_entries": len(_SPECIAL),
             "emitters": {k: dict(v) for k, v in EMITTER_STATS.items()},
+            # Verification is per *lowering*, never per call: cache hits
+            # reuse the verified PlanIR, so these counters stand still on
+            # the hot path (asserted by the A9 overhead guard).
+            "verify": {
+                "mode": verify_mode(),
+                "plan_checks": VERIFY_STATS["plan_checks"],
+                "codegen_checks": VERIFY_STATS["codegen_checks"],
+            },
         }
 
 

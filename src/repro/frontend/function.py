@@ -107,7 +107,11 @@ class Compiled:
             from ..ir.schedule import apply_env_schedule
 
             fun = apply_env_schedule(fun)
-        self.fun = fun
+        # Pass-boundary verification after schedule application — this is
+        # the boundary where layer 3 (parallel safety) sees the directives.
+        from ..ir.verify import maybe_verify_fun
+
+        self.fun = maybe_verify_fun(fun, where="schedule")
 
     @property
     def name(self) -> str:

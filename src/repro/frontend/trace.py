@@ -18,6 +18,7 @@ import numpy as np
 from ..ir.ast import AtomExp, Atom, BinOp, Cast, Const, Fun, Index, UnOp, Var
 from ..ir.builder import Builder, as_atom, const
 from ..ir.typecheck import check_fun
+from ..ir.validate import validate_fun
 from ..ir.types import (
     ArrayType,
     BOOL,
@@ -296,7 +297,10 @@ def trace(
             body = b.finish(result)
         fun = Fun(name, params, body)
         check_fun(fun)
-    return fun
+        validate_fun(fun)
+    from ..ir.verify import maybe_verify_fun
+
+    return maybe_verify_fun(fun, where="trace")
 
 
 def trace_like(f: Callable, example_args: Sequence[object], name: Optional[str] = None) -> Fun:

@@ -17,10 +17,10 @@ The language follows the paper's core IR (§2.1):
 """
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple, Union
 
-from .types import AccType, ArrayType, Scalar, Type
+from .types import Scalar, Type
 
 __all__ = [
     "Var",

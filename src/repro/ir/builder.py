@@ -12,7 +12,7 @@ code reads like the generated program:
 """
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -50,7 +50,7 @@ from .ast import (
     ZerosLike,
 )
 from .typecheck import infer_exp_types
-from .types import BOOL, F32, F64, I32, I64, Scalar, Type, elem_type, is_float, rank_of
+from .types import BOOL, F64, I32, I64, Scalar, elem_type
 
 __all__ = ["Builder", "const", "const_like", "as_atom"]
 

@@ -38,7 +38,6 @@ condition — the static model cannot know which branch runs.
 from __future__ import annotations
 
 import math
-import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -56,7 +55,6 @@ from .ast import (
     If,
     Index,
     Iota,
-    Lambda,
     Loop,
     Map,
     Reduce,

@@ -8,7 +8,6 @@ from .ast import (
     Body,
     Cast,
     Concat,
-    Const,
     Exp,
     Fun,
     If,
@@ -30,7 +29,6 @@ from .ast import (
     UnOp,
     UpdAcc,
     Update,
-    Var,
     WhileLoop,
     WithAcc,
     ZerosLike,

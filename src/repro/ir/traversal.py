@@ -12,7 +12,7 @@ statements between scopes, so it leans heavily on:
 """
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Iterator, Tuple
+from typing import Callable, Dict, Iterable, Iterator
 
 from ..util import fresh
 from .ast import (
@@ -22,7 +22,6 @@ from .ast import (
     Body,
     Cast,
     Concat,
-    Const,
     Exp,
     Fun,
     If,

@@ -24,7 +24,6 @@ from .ast import (
     COMPARISONS,
     Cast,
     Concat,
-    Const,
     Exp,
     Fun,
     If,
@@ -59,7 +58,6 @@ from .types import (
     Scalar,
     Type,
     elem_type,
-    is_float,
     is_integral,
     rank_of,
     with_rank,

@@ -186,6 +186,12 @@ def optimize_fun(
 
     src = fun
     converged = False
+    # Pass-boundary verification (ir/verify): "full" re-checks the IR after
+    # every pass, attributing a violation to the pass that fired; "boundary"
+    # checks once after the whole pipeline.  "off" costs this one lookup.
+    from ..ir.verify import maybe_verify_fun, verify_fun, verify_mode
+
+    vmode = verify_mode()
     with _obs_tracing.span("optimize", cat="compile", fun=fun.name):
         for _ in range(rounds):
             start = fun
@@ -194,6 +200,8 @@ def optimize_fun(
                 with _obs_tracing.span(f"opt:{p.name}", cat="opt", fun=fun.name):
                     fun = p.fn(fun)
                 _PASS_STATS[p.name]["fired"] += 1
+                if vmode == "full":
+                    verify_fun(fun, where=f"opt:{p.name}", full=True)
                 outs.append(fun)
             if fun == start:
                 # Round-level fixed point: ONE deep comparison instead of one
@@ -208,6 +216,8 @@ def optimize_fun(
                 if out != prev:
                     _PASS_STATS[p.name]["changed"] += 1
                 prev = out
+    if vmode == "boundary":
+        maybe_verify_fun(fun, where="optimize")
     if cache:
         _cache_put(key, src, fun)
         if converged and fun is not src:

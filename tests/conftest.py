@@ -8,3 +8,7 @@ import sys
 sys.path.insert(0, os.path.dirname(__file__))
 
 os.environ.setdefault("REPRO_SHARD_WORKERS", "2")
+
+# Stage-boundary IR verification is on by default under pytest (the prod
+# default is "off"); CI additionally runs one leg with REPRO_VERIFY=full.
+os.environ.setdefault("REPRO_VERIFY", "boundary")
